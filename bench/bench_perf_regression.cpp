@@ -1,0 +1,103 @@
+/// \file bench_perf_regression.cpp
+/// google-benchmark microbenchmarks of the regression back-ends: OLS
+/// (Householder QR) vs Least Median of Squares (random elemental
+/// subsets) across observation counts, plus full model fits. LMS is
+/// the paper's cited estimator [24]; this quantifies what its
+/// robustness costs.
+
+#include <benchmark/benchmark.h>
+
+#include "voprof/core/overhead_model.hpp"
+#include "voprof/core/regression.hpp"
+#include "voprof/util/rng.hpp"
+
+namespace {
+
+using namespace voprof;
+using model::RegressionMethod;
+
+struct Data {
+  util::Matrix x;
+  std::vector<double> y;
+};
+
+Data make_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Data d{util::Matrix(n, 4), std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) d.x(i, c) = rng.uniform(0, 100);
+    d.y[i] = 5.0 + 1.1 * d.x(i, 0) + 0.01 * d.x(i, 3) + rng.gaussian(0, 0.5);
+  }
+  return d;
+}
+
+void BM_FitOls(benchmark::State& state) {
+  const Data d = make_data(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::fit_ols(d.x, d.y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FitOls)->Range(64, 16384)->Complexity(benchmark::oN);
+
+void BM_FitLms(benchmark::State& state) {
+  const Data d = make_data(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(model::fit_lms(d.x, d.y, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FitLms)->Range(64, 16384)->Complexity(benchmark::oN);
+
+void BM_SingleVmModelFit(benchmark::State& state) {
+  util::Rng rng(3);
+  model::TrainingSet data;
+  for (int i = 0; i < 2400; ++i) {
+    model::TrainingRow row;
+    row.n_vms = 1;
+    row.vm_sum = model::UtilVec{rng.uniform(0, 100), rng.uniform(80, 140),
+                                rng.uniform(0, 90), rng.uniform(0, 1280)};
+    row.pm = row.vm_sum * 1.2;
+    row.dom0_cpu = 16.8 + 0.05 * row.vm_sum.cpu;
+    row.hyp_cpu = 3.0 + 0.04 * row.vm_sum.cpu;
+    data.add(row);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::SingleVmModel::fit(data, RegressionMethod::kOls));
+  }
+}
+BENCHMARK(BM_SingleVmModelFit);
+
+void BM_Predict(benchmark::State& state) {
+  util::Rng rng(4);
+  model::TrainingSet data;
+  for (int n : {1, 2, 4}) {
+    for (int i = 0; i < 800; ++i) {
+      model::TrainingRow row;
+      row.n_vms = n;
+      row.vm_sum = model::UtilVec{rng.uniform(0, 100.0 * n),
+                                  rng.uniform(80, 140.0 * n),
+                                  rng.uniform(0, 90.0 * n),
+                                  rng.uniform(0, 1280.0 * n)};
+      row.pm = row.vm_sum * 1.2 + model::UtilVec{18, 752, 19, 2} *
+                                      (1.0 + 0.1 * (n - 1));
+      row.dom0_cpu = 16.8 + 0.05 * row.vm_sum.cpu;
+      row.hyp_cpu = 3.0 + 0.04 * row.vm_sum.cpu;
+      data.add(row);
+    }
+  }
+  const model::MultiVmModel m =
+      model::MultiVmModel::fit(data, RegressionMethod::kOls);
+  const model::UtilVec probe{120, 250, 40, 2000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict(probe, 2));
+    benchmark::DoNotOptimize(m.predict_pm_cpu_indirect(probe, 2));
+  }
+}
+BENCHMARK(BM_Predict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#pragma once
+/// \file common.hpp
+/// Shared helpers for the figure/table reproduction benches: run one
+/// micro-benchmark cell on a fresh simulated testbed under the paper's
+/// measurement protocol (1 s samples, 2 minutes, averaged) and return
+/// the entity means; plus small formatting utilities for
+/// paper-vs-measured tables.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "voprof/monitor/script.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
+#include "voprof/workloads/levels.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::bench {
+
+/// Mean utilizations of one measured cell.
+struct CellResult {
+  mon::UtilSample vm;      ///< first VM (all VMs are symmetric)
+  mon::UtilSample vm_sum;  ///< sum over VMs
+  mon::UtilSample dom0;
+  mon::UtilSample hyp;
+  mon::UtilSample pm;
+};
+
+/// Run `n_vms` co-located VMs each with workload (kind, value) for
+/// `duration` under the monitoring script and return the averages.
+/// When `intra_pm` is true (BW workloads only), VM1 pings VM2 on the
+/// same PM (the Fig. 5 experiment); otherwise BW targets are external.
+inline CellResult measure_cell(wl::WorkloadKind kind, double value,
+                               int n_vms, bool intra_pm = false,
+                               std::uint64_t seed = 42,
+                               util::SimMicros duration =
+                                   util::seconds(120.0)) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, seed);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+
+  std::vector<std::string> names;
+  for (int i = 0; i < n_vms; ++i) {
+    sim::VmSpec spec;
+    spec.name = "vm" + std::to_string(i + 1);
+    names.push_back(spec.name);
+    pm.add_vm(spec);
+  }
+  for (int i = 0; i < n_vms; ++i) {
+    sim::DomU* vm = pm.find_vm(names[static_cast<std::size_t>(i)]);
+    sim::NetTarget target;  // external by default
+    if (intra_pm) {
+      if (i > 0) continue;  // Fig. 5: only VM1 transmits
+      target = sim::NetTarget{pm.id(), "vm2"};
+    }
+    vm->attach(wl::make_workload_value(kind, value, target,
+                                       seed + 7 + static_cast<std::uint64_t>(i)));
+  }
+
+  mon::MonitorScript monitor(engine, pm);
+  const mon::MeasurementReport& report = monitor.measure(duration);
+
+  CellResult r;
+  r.vm = report.mean(names.front());
+  for (const auto& n : names) r.vm_sum += report.mean(n);
+  r.dom0 = report.mean(mon::MeasurementReport::kDom0Key);
+  r.hyp = report.mean(mon::MeasurementReport::kHypKey);
+  r.pm = report.mean(mon::MeasurementReport::kPmKey);
+  return r;
+}
+
+/// "measured (paper)" cell, or just the measured value when no anchor
+/// is printed in the paper for this point.
+inline std::string vs(double measured, double paper, int decimals = 1) {
+  return util::fmt_vs(measured, paper, decimals);
+}
+inline std::string only(double measured, int decimals = 1) {
+  return util::fmt(measured, decimals);
+}
+
+/// Print a one-line shape verdict, e.g. "slope 0.0104 (paper ~0.0105)".
+inline void verdict(const std::string& what, double measured, double paper,
+                    double tolerance) {
+  const bool ok = std::abs(measured - paper) <= tolerance;
+  std::printf("  %-58s %8.4f  (paper ~%.4f)  %s\n", what.c_str(), measured,
+              paper, ok ? "OK" : "DIVERGES");
+}
+
+}  // namespace voprof::bench

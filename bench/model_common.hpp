@@ -1,0 +1,117 @@
+#pragma once
+/// \file model_common.hpp
+/// Shared pipeline for the Sec. VI benches: train the Sec. V models
+/// from the full micro-benchmark sweep (as Sec. VI-A does), run the
+/// RUBiS deployments of Fig. 6 with 1..3 instances, and evaluate the
+/// prediction-error CDFs for both PMs.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "voprof/core/predictor.hpp"
+#include "voprof/core/trainer.hpp"
+#include "voprof/rubis/deployment.hpp"
+
+namespace voprof::bench {
+
+/// Train the overhead models exactly as Sec. VI-A: the Table II sweep
+/// over {1,2,4} co-located VMs, 2 minutes per cell. The default
+/// estimator is Least Median of Squares — the method the paper cites
+/// ([24], Rousseeuw 1984). It matters: Dom0's control-plane response is
+/// convex in guest CPU, and OLS smears that curvature across the whole
+/// range while LMS fits the bulk of the data tightly (the ablation
+/// bench quantifies the difference).
+inline model::TrainedModels train_paper_models(
+    model::RegressionMethod method = model::RegressionMethod::kLms,
+    util::SimMicros cell_duration = util::seconds(120.0)) {
+  model::TrainerConfig cfg;
+  cfg.duration = cell_duration;
+  cfg.seed = 42;
+  const model::Trainer trainer(cfg);
+  return trainer.train(method);
+}
+
+/// Result of one RUBiS prediction run: the evaluations for both PMs.
+struct RubisPrediction {
+  model::PredictionEval pm1;  ///< web-tier PM
+  model::PredictionEval pm2;  ///< DB-tier PM
+};
+
+/// Deploy `instances` RUBiS sets (web VMs on PM1, DB VMs on PM2,
+/// clients on a third machine), run for `duration` after a warmup, and
+/// evaluate the trained model's per-second PM predictions against the
+/// measured PM utilizations.
+inline RubisPrediction run_rubis_prediction(
+    const model::MultiVmModel& trained, int instances, int clients,
+    std::uint64_t seed, util::SimMicros duration = util::seconds(120.0)) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, seed);
+  cluster.add_machine(sim::MachineSpec{});  // PM1: web tier(s)
+  cluster.add_machine(sim::MachineSpec{});  // PM2: DB tier(s)
+  cluster.add_machine(sim::MachineSpec{});  // client machine
+
+  std::vector<std::string> web_vms, db_vms;
+  for (int i = 0; i < instances; ++i) {
+    rubis::DeployOptions opt;
+    opt.clients = clients;
+    opt.suffix = instances > 1 ? std::to_string(i + 1) : std::string{};
+    opt.seed = seed + static_cast<std::uint64_t>(i) * 11;
+    const rubis::RubisInstance inst =
+        rubis::deploy_rubis(cluster, 0, 1, 2, opt);
+    web_vms.push_back(inst.web_vm);
+    db_vms.push_back(inst.db_vm);
+  }
+
+  engine.run_for(util::seconds(10.0));  // closed-loop warmup
+
+  mon::MonitorScript mon1(engine, cluster.machine(0));
+  mon::MonitorScript mon2(engine, cluster.machine(1));
+  mon1.start();
+  mon2.start();
+  engine.run_for(duration);
+  mon1.stop();
+  mon2.stop();
+
+  const model::Predictor predictor(trained);
+  RubisPrediction out;
+  out.pm1 = predictor.evaluate(mon1.report(), web_vms);
+  out.pm2 = predictor.evaluate(mon2.report(), db_vms);
+  return out;
+}
+
+/// Print one CDF table in the paper's Fig. 7-9 style: one row per
+/// client count, the error bounds covering 50/80/90/95 % of the
+/// predictions. `paper_p90` is the figure's quoted 90 % bound (< 0 to
+/// omit).
+inline void print_error_table(const std::string& title,
+                              const std::vector<int>& client_counts,
+                              const std::vector<model::MetricEval*>& evals,
+                              double paper_p90) {
+  util::AsciiTable t(title);
+  t.set_header({"clients", "p50 err(%)", "p80 err(%)", "p90 err(%)",
+                "p95 err(%)", "mean err(%)"});
+  double worst_p90 = 0.0;
+  for (std::size_t i = 0; i < client_counts.size(); ++i) {
+    const model::MetricEval& e = *evals[i];
+    t.add_row({std::to_string(client_counts[i]),
+               util::fmt(e.error_at_fraction(0.5), 2),
+               util::fmt(e.error_at_fraction(0.8), 2),
+               util::fmt(e.error_at_fraction(0.9), 2),
+               util::fmt(e.error_at_fraction(0.95), 2),
+               util::fmt(e.mean_error_pct(), 2)});
+    worst_p90 = std::max(worst_p90, e.error_at_fraction(0.9));
+  }
+  std::cout << t.str();
+  if (paper_p90 >= 0.0) {
+    std::printf("  worst 90%%-bound across client counts: %.2f%%  (paper: "
+                "90%% of predictions under ~%.1f%%)\n\n",
+                worst_p90, paper_p90);
+  } else {
+    std::cout << '\n';
+  }
+}
+
+}  // namespace voprof::bench

@@ -1,0 +1,91 @@
+/// \file hotspot_mitigation.cpp
+/// Domain example 5 — closing the loop the paper motivates in its
+/// introduction: accurate overhead estimation enables better
+/// *management actions*. A RUBiS web tier shares a host with three
+/// noisy CPU hogs; the overhead-aware hotspot controller detects that
+/// the host's true utilization (guests + Dom0 + hypervisor) exceeds
+/// capacity and live-migrates the noisiest VM away. Throughput
+/// recovers while the copy itself pays real Dom0/NIC costs.
+///
+/// Run: ./hotspot_mitigation
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "voprof/voprof.hpp"
+
+int main() {
+  using namespace voprof;
+
+  std::cout << "[1/3] Training the overhead model...\n";
+  model::TrainerConfig tcfg;
+  tcfg.duration = util::seconds(45.0);
+  const model::TrainedModels models =
+      model::Trainer(tcfg).train(model::RegressionMethod::kLms);
+
+  std::cout << "[2/3] Deploying: PM0 = RUBiS web + 3 noisy neighbours "
+               "(70% CPU each), PM1 = spare, PM2 = clients...\n";
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 321);
+  cluster.add_machine(sim::MachineSpec{});
+  cluster.add_machine(sim::MachineSpec{});
+  cluster.add_machine(sim::MachineSpec{});
+
+  rubis::DeployOptions opt;
+  opt.clients = 500;
+  const rubis::RubisInstance inst = rubis::deploy_rubis(cluster, 0, 1, 2, opt);
+  for (int i = 0; i < 3; ++i) {
+    sim::VmSpec spec;
+    spec.name = "noisy" + std::to_string(i + 1);
+    cluster.machine(0).add_vm(spec).attach(
+        std::make_unique<wl::CpuHog>(70.0, 500 + static_cast<std::uint64_t>(i)));
+  }
+
+  place::HotspotConfig hcfg;
+  hcfg.check_interval = util::seconds(5.0);
+  place::HotspotController controller(cluster, &models.multi, {0, 1}, hcfg);
+
+  std::cout << "[3/3] Running 3 simulated minutes; controller starts at "
+               "t=60s...\n\n";
+  auto throughput_over = [&](double seconds_window) {
+    const double mark = inst.client->completed();
+    engine.run_for(util::seconds(seconds_window));
+    return (inst.client->completed() - mark) / seconds_window;
+  };
+
+  const double before = throughput_over(60.0);
+  controller.start();
+  const double during = throughput_over(60.0);
+  const double after = throughput_over(60.0);
+  controller.stop();
+
+  util::AsciiTable t("RUBiS throughput around the mitigation");
+  t.set_header({"phase", "throughput (req/s)"});
+  t.add_row({"contended (no controller)", util::fmt(before, 1)});
+  t.add_row({"controller active (migrations in flight)",
+             util::fmt(during, 1)});
+  t.add_row({"after mitigation", util::fmt(after, 1)});
+  std::cout << t.str() << '\n';
+
+  std::cout << "Mitigation log:\n";
+  for (const auto& a : controller.actions()) {
+    std::printf(
+        "  t=%5.1fs  migrated %-8s PM%d -> PM%d  (predicted source PM "
+        "CPU %.1f%%)\n",
+        util::to_seconds(a.time), a.vm_name.c_str(), a.from_pm, a.to_pm,
+        a.predicted_cpu);
+  }
+  if (controller.actions().empty()) {
+    std::cout << "  (none - host never crossed the threshold)\n";
+  }
+  std::printf(
+      "\nFinal layout: PM0 hosts %zu VMs, PM1 hosts %zu VMs; predicted "
+      "PM0 CPU %.1f%%, PM1 %.1f%%\n",
+      cluster.machine(0).vm_count(), cluster.machine(1).vm_count(),
+      controller.last_predicted_cpu(0), controller.last_predicted_cpu(1));
+  std::cout << "\nA VOU-style controller (raw sum of VM CPU) would sit "
+               "below its threshold on PM0 while the RUBiS VMs starve - "
+               "the Dom0/hypervisor share is invisible to it.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+/// \file profile_workloads.cpp
+/// Domain example 1 — a virtualization-overhead profiler in the style
+/// of the paper's Sec. IV measurement study: sweep the four Table II
+/// workload families across intensity levels and co-location degrees,
+/// and summarize where the overhead lands (Dom0 CPU, hypervisor CPU,
+/// disk amplification, NIC framing).
+///
+/// Run: ./profile_workloads [duration_seconds_per_cell]
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "voprof/voprof.hpp"
+
+namespace {
+
+using namespace voprof;
+
+struct Cell {
+  mon::UtilSample vm_sum, dom0, hyp, pm;
+};
+
+Cell run_cell(wl::WorkloadKind kind, std::size_t level, int n_vms,
+              util::SimMicros duration, std::uint64_t seed) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, seed);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  std::vector<std::string> names;
+  for (int i = 0; i < n_vms; ++i) {
+    sim::VmSpec spec;
+    spec.name = "vm" + std::to_string(i + 1);
+    names.push_back(spec.name);
+    pm.add_vm(spec).attach(wl::make_workload(
+        kind, level, sim::NetTarget{}, seed + static_cast<std::uint64_t>(i)));
+  }
+  mon::MonitorScript monitor(engine, pm);
+  const mon::MeasurementReport& report = monitor.measure(duration);
+  Cell c;
+  for (const auto& n : names) c.vm_sum += report.mean(n);
+  c.dom0 = report.mean(mon::MeasurementReport::kDom0Key);
+  c.hyp = report.mean(mon::MeasurementReport::kHypKey);
+  c.pm = report.mean(mon::MeasurementReport::kPmKey);
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double cell_seconds = 30.0;
+  if (argc > 1) cell_seconds = std::atof(argv[1]);
+  const util::SimMicros duration = util::seconds(cell_seconds);
+
+  std::cout << "voprof workload profiler - virtualization overhead by "
+               "workload family and co-location degree\n"
+            << "(" << util::fmt(cell_seconds, 0)
+            << " simulated seconds per cell, 1 s sampling)\n\n";
+
+  for (wl::WorkloadKind kind :
+       {wl::WorkloadKind::kCpu, wl::WorkloadKind::kMem, wl::WorkloadKind::kIo,
+        wl::WorkloadKind::kBw}) {
+    util::AsciiTable t(wl::kind_name(kind) + " workloads");
+    t.set_header({"level(" + wl::kind_unit(kind) + ")", "VMs",
+                  "sum VM cpu", "Dom0 cpu", "hyp cpu", "cpu overhead",
+                  "io amp", "bw ovh(%)"});
+    std::uint64_t seed = 1000 + static_cast<std::uint64_t>(kind) * 97;
+    for (int n_vms : {1, 2, 4}) {
+      for (std::size_t level : {std::size_t{1}, std::size_t{4}}) {
+        const Cell c =
+            run_cell(kind, level, n_vms, duration, seed += 13);
+        const double cpu_overhead = c.dom0.cpu_pct + c.hyp.cpu_pct;
+        const double io_amp =
+            c.vm_sum.io_blocks_per_s > 1.0
+                ? c.pm.io_blocks_per_s / c.vm_sum.io_blocks_per_s
+                : 0.0;
+        const double bw_ovh =
+            c.vm_sum.bw_kbps > 1.0
+                ? (c.pm.bw_kbps - c.vm_sum.bw_kbps) / c.pm.bw_kbps * 100.0
+                : 0.0;
+        t.add_row({util::fmt(wl::level_value(kind, level),
+                             kind == wl::WorkloadKind::kMem ? 2 : 0),
+                   std::to_string(n_vms), util::fmt(c.vm_sum.cpu_pct, 1),
+                   util::fmt(c.dom0.cpu_pct, 1), util::fmt(c.hyp.cpu_pct, 1),
+                   util::fmt(cpu_overhead, 1),
+                   io_amp > 0 ? util::fmt(io_amp, 2) : "-",
+                   c.vm_sum.bw_kbps > 1.0 ? util::fmt(bw_ovh, 1) : "-"});
+      }
+    }
+    std::cout << t.str() << '\n';
+  }
+
+  std::cout
+      << "Key takeaways (matching the paper's Sec. IV observations):\n"
+         "  * Dom0 + hypervisor consume ~20% of a core before any guest "
+         "work happens.\n"
+         "  * CPU-intensive guests add convex control-plane overhead; "
+         "with co-location it saturates.\n"
+         "  * Every guest disk block becomes ~2 physical blocks "
+         "(virtual-disk striping).\n"
+         "  * Network-intensive guests are the expensive ones: ~0.01% "
+         "Dom0 CPU per Kb/s of traffic.\n"
+         "  * Memory-intensive guests are essentially free, beyond their "
+         "resident pages.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#pragma once
+/// \file fileserver.hpp
+/// A second enterprise application model: an NFS/Samba-style file
+/// server. Where RUBiS stresses CPU+bandwidth (Sec. VI), a file server
+/// stresses the disk path — guest reads fan out through blkback into
+/// the striped virtual disk, the dimension of the overhead model RUBiS
+/// barely exercises. Used to validate the Eq. (1)-(3) I/O predictions
+/// on application-shaped load.
+///
+/// Closed loop: clients request files, the server spends CPU + disk
+/// blocks per request and streams the file back; think time paces the
+/// loop.
+
+#include <cstdint>
+#include <string>
+
+#include "voprof/util/rng.hpp"
+#include "voprof/xensim/process.hpp"
+
+namespace voprof::apps {
+
+enum FileFlowTag : int {
+  kTagFileRequest = 201,  ///< client -> server
+  kTagFileData = 202,     ///< server -> client
+};
+
+struct FileServerCosts {
+  double think_time_s = 4.0;
+  double request_kbits = 1.0;
+  /// Mean file size in 512-byte blocks (64 KiB).
+  double file_blocks = 128.0;
+  /// Fraction of requests missing the page cache (hitting the disk).
+  double cache_miss_rate = 0.35;
+  /// Server CPU per request, ms.
+  double server_cpu_ms_per_req = 2.0;
+  /// Data streamed back per request, Kb (file content).
+  double response_kbits = 64.0 * 8.0;  // 64 KiB
+};
+
+/// The server tier (GuestProcess in the server VM).
+class FileServerTier final : public sim::GuestProcess {
+ public:
+  FileServerTier(FileServerCosts costs, sim::NetTarget client,
+                 std::uint64_t seed = 41);
+
+  [[nodiscard]] sim::ProcessDemand demand(util::SimMicros now,
+                                          double dt) override;
+  void granted(double cpu_frac, util::SimMicros now, double dt) override;
+  void on_receive(double kbits, int tag, util::SimMicros now) override;
+  [[nodiscard]] std::string label() const override { return "file-server"; }
+
+  [[nodiscard]] double queue_length() const noexcept { return queue_; }
+  [[nodiscard]] double total_served() const noexcept { return served_; }
+
+ private:
+  FileServerCosts costs_;
+  sim::NetTarget client_;
+  util::Rng rng_;
+  double queue_ = 0.0;
+  double wanted_rate_ = 0.0;
+  double served_ = 0.0;
+};
+
+/// Closed-loop client population (GuestProcess in a client VM).
+class FileClient final : public sim::GuestProcess {
+ public:
+  FileClient(FileServerCosts costs, sim::NetTarget server, int clients,
+             std::uint64_t seed = 43);
+
+  [[nodiscard]] sim::ProcessDemand demand(util::SimMicros now,
+                                          double dt) override;
+  void granted(double cpu_frac, util::SimMicros now, double dt) override;
+  void on_receive(double kbits, int tag, util::SimMicros now) override;
+  [[nodiscard]] std::string label() const override { return "file-client"; }
+
+  [[nodiscard]] int clients() const noexcept { return clients_; }
+  [[nodiscard]] double completed() const noexcept { return completed_; }
+
+ private:
+  FileServerCosts costs_;
+  sim::NetTarget server_;
+  util::Rng rng_;
+  int clients_;
+  double thinking_;
+  double send_rate_ = 0.0;
+  double completed_ = 0.0;
+};
+
+}  // namespace voprof::apps

@@ -1,0 +1,63 @@
+#pragma once
+/// \file baselines.hpp
+/// Baseline estimators from the related work the paper positions
+/// against (Sec. II), so the comparison is runnable instead of
+/// rhetorical:
+///
+///  - NaiveSumModel — the assumption of the placement works [5]-[8]
+///    the introduction quotes: "the utilization of a particular
+///    resource in a PM equals the sum of the utilizations of this
+///    resource of its hosted VMs". No training, no overhead.
+///
+///  - Dom0IoModel — Cherkasova & Gardner [14]: Dom0 CPU regressed on
+///    the guests' I/O+network activity only; Dom0 CPU *is* the
+///    virtualization overhead. The paper's critique: it "neglected the
+///    CPU overhead in Xen hypervisor" and ignores CPU-intensive
+///    guests' control-plane load. PM CPU = sum VM CPU + Dom0_hat.
+///
+/// Both expose the same predict-PM-CPU interface as MultiVmModel so
+/// benches can compare them head-to-head.
+
+#include <cstdint>
+
+#include "voprof/core/overhead_model.hpp"
+
+namespace voprof::model {
+
+/// PM usage = sum of VM usages. What VOU believes.
+class NaiveSumModel {
+ public:
+  [[nodiscard]] UtilVec predict(const UtilVec& vm_sum, int n_vms) const;
+  [[nodiscard]] double predict_pm_cpu(const UtilVec& vm_sum,
+                                      int n_vms) const {
+    return predict(vm_sum, n_vms).cpu;
+  }
+};
+
+/// Cherkasova-Gardner-style Dom0 model: Dom0 CPU = c0 + c_i * Mi +
+/// c_n * Mn (I/O and network activity only; no guest-CPU term, no
+/// hypervisor model). Fitted on the same training data as the paper's
+/// model, restricted to the features [14] uses.
+class Dom0IoModel {
+ public:
+  Dom0IoModel() = default;
+
+  [[nodiscard]] static Dom0IoModel fit(const TrainingSet& data,
+                                       RegressionMethod method,
+                                       std::uint64_t seed = 1234);
+
+  /// Predicted Dom0 CPU from guest I/O + network activity.
+  [[nodiscard]] double predict_dom0_cpu(const UtilVec& vm_sum) const;
+  /// PM CPU = measured guest CPU + predicted Dom0 CPU (no hypervisor
+  /// term — the omission the paper calls out).
+  [[nodiscard]] double predict_pm_cpu(const UtilVec& vm_sum, int n_vms) const;
+
+  [[nodiscard]] const LinearFit& dom0_fit() const;
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+ private:
+  LinearFit dom0_fit_;  ///< coef = [c0, c_i, c_n]
+  bool trained_ = false;
+};
+
+}  // namespace voprof::model

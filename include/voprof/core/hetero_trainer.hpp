@@ -1,0 +1,76 @@
+#pragma once
+/// \file hetero_trainer.hpp
+/// Training sweep for the heterogeneous-VM model: like Trainer, but
+/// over *mixes* of VM types (e.g. one small + two large guests), so
+/// the typed slope blocks of HeteroModel are identifiable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "voprof/core/hetero_model.hpp"
+#include "voprof/workloads/levels.hpp"
+#include "voprof/xensim/cost_model.hpp"
+#include "voprof/xensim/spec.hpp"
+
+namespace voprof::model {
+
+/// A named VM configuration.
+struct VmType {
+  std::string name;
+  sim::VmSpec spec;
+  /// How many copies of each workload to attach (a 2-VCPU guest runs
+  /// two instances — lookbusy spawns one spinner per core).
+  int workload_instances = 1;
+};
+
+struct HeteroTrainerConfig {
+  /// The VM types under study. Default: the paper's 1-VCPU/256-MiB
+  /// guest plus a 2-VCPU/512-MiB "large" configuration with a doubled
+  /// virtual-disk cap.
+  std::vector<VmType> types;
+  /// Deployment mixes: counts per type, aligned with `types`.
+  std::vector<std::vector<int>> mixes;
+  std::vector<wl::WorkloadKind> kinds = {
+      wl::WorkloadKind::kCpu, wl::WorkloadKind::kMem, wl::WorkloadKind::kIo,
+      wl::WorkloadKind::kBw};
+  util::SimMicros duration = util::seconds(60.0);
+  std::uint64_t seed = 71;
+  sim::MachineSpec machine;
+  sim::CostModel costs;
+
+  /// Build the default two-type study.
+  [[nodiscard]] static HeteroTrainerConfig defaults();
+};
+
+class HeteroTrainer {
+ public:
+  explicit HeteroTrainer(HeteroTrainerConfig config);
+
+  /// One cell: deploy the mix, run workload (kind, level) in every VM,
+  /// return one observation per 1 s sample.
+  [[nodiscard]] HeteroTrainingSet collect_run(const std::vector<int>& mix,
+                                              wl::WorkloadKind kind,
+                                              std::size_t level) const;
+
+  /// Full sweep (mixes x kinds x 5 levels).
+  [[nodiscard]] HeteroTrainingSet collect() const;
+
+  /// Default estimator is OLS, not LMS: the typed design matrix has
+  /// strongly collinear blocks (per-type sums plus the alpha-scaled
+  /// grand total), on which LMS's random elemental subsets are often
+  /// near-singular and the fit becomes unstable. OLS is well-behaved
+  /// here because the typed blocks absorb the per-configuration
+  /// structure that made the homogeneous OLS fit biased.
+  [[nodiscard]] HeteroModel train(
+      RegressionMethod method = RegressionMethod::kOls) const;
+
+  [[nodiscard]] const HeteroTrainerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  HeteroTrainerConfig config_;
+};
+
+}  // namespace voprof::model

@@ -1,0 +1,82 @@
+#pragma once
+/// \file predictor.hpp
+/// Trace-driven prediction and error analysis (Sec. VI-A): feed the
+/// per-second VM utilization samples of a finished measurement through
+/// a fitted MultiVmModel, compare with the measured PM utilizations,
+/// and build the prediction-error CDFs of Figs. 7-9
+/// (error = |p - m| / m).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "voprof/core/overhead_model.hpp"
+#include "voprof/monitor/script.hpp"
+#include "voprof/util/stats.hpp"
+#include "voprof/util/time_series.hpp"
+
+namespace voprof::model {
+
+/// Per-metric outcome of one evaluation.
+struct MetricEval {
+  util::TimeSeries predicted;
+  util::TimeSeries measured;
+  /// Percent errors |p - m| / m * 100, one entry per usable sample
+  /// (samples with near-zero measured value are excluded to keep the
+  /// ratio meaningful).
+  std::vector<double> errors_pct;
+  util::Cdf error_cdf;
+
+  /// Error value at the given CDF fraction, e.g. 0.9 for the paper's
+  /// "90% of the predictions have errors smaller than ..." statements.
+  [[nodiscard]] double error_at_fraction(double p) const {
+    return error_cdf.value_at(p);
+  }
+  [[nodiscard]] double mean_error_pct() const noexcept {
+    return util::mean(errors_pct);
+  }
+};
+
+/// Evaluation over all four metrics.
+struct PredictionEval {
+  std::array<MetricEval, kMetricCount> metrics;
+
+  [[nodiscard]] const MetricEval& of(MetricIndex m) const noexcept {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] MetricEval& of(MetricIndex m) noexcept {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+};
+
+/// Streams measurement reports through a fitted model.
+class Predictor {
+ public:
+  /// \param indirect_cpu  Sec. VI-A's method for PM CPU: measured
+  ///        sum-of-VM CPU plus predicted Dom0 + hypervisor overhead.
+  ///        When false, PM CPU comes from the direct Eq. (3) fit like
+  ///        the other metrics (kept for the ablation bench).
+  explicit Predictor(MultiVmModel model, bool indirect_cpu = true);
+
+  /// Predict PM utilization for every sample of `report`, using the
+  /// named VMs as the co-located set, and compare with the measured PM
+  /// series. `min_denominator` guards the relative-error division.
+  [[nodiscard]] PredictionEval evaluate(
+      const mon::MeasurementReport& report,
+      const std::vector<std::string>& vm_names,
+      double min_denominator = 1e-3) const;
+
+  /// One-shot prediction from a summed VM utilization vector.
+  [[nodiscard]] UtilVec predict(const UtilVec& vm_sum, int n_vms) const {
+    return model_.predict(vm_sum, n_vms);
+  }
+
+  [[nodiscard]] const MultiVmModel& model() const noexcept { return model_; }
+  [[nodiscard]] bool indirect_cpu() const noexcept { return indirect_cpu_; }
+
+ private:
+  MultiVmModel model_;
+  bool indirect_cpu_;
+};
+
+}  // namespace voprof::model

@@ -1,0 +1,65 @@
+#pragma once
+/// \file utilvec.hpp
+/// The 4-metric utilization vector M = [Mc, Mm, Mi, Mn] of Sec. V
+/// (CPU %, memory MiB, disk I/O blocks/s, network bandwidth Kb/s), the
+/// common currency between the measurement pipeline and the overhead
+/// models.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "voprof/monitor/sample.hpp"
+
+namespace voprof::model {
+
+inline constexpr std::size_t kMetricCount = 4;
+
+/// Metric order used across all coefficient matrices.
+enum class MetricIndex : std::size_t { kCpu = 0, kMem = 1, kIo = 2, kBw = 3 };
+
+[[nodiscard]] std::string metric_name(MetricIndex m);
+
+struct UtilVec {
+  double cpu = 0.0;  ///< percent of one core
+  double mem = 0.0;  ///< MiB
+  double io = 0.0;   ///< blocks/s
+  double bw = 0.0;   ///< Kb/s
+
+  [[nodiscard]] static UtilVec from_sample(const mon::UtilSample& s) noexcept {
+    return UtilVec{s.cpu_pct, s.mem_mib, s.io_blocks_per_s, s.bw_kbps};
+  }
+
+  [[nodiscard]] std::array<double, kMetricCount> to_array() const noexcept {
+    return {cpu, mem, io, bw};
+  }
+  [[nodiscard]] static UtilVec from_array(
+      const std::array<double, kMetricCount>& a) noexcept {
+    return UtilVec{a[0], a[1], a[2], a[3]};
+  }
+
+  [[nodiscard]] double get(MetricIndex m) const noexcept {
+    return to_array()[static_cast<std::size_t>(m)];
+  }
+
+  UtilVec& operator+=(const UtilVec& o) noexcept {
+    cpu += o.cpu;
+    mem += o.mem;
+    io += o.io;
+    bw += o.bw;
+    return *this;
+  }
+  [[nodiscard]] UtilVec operator+(const UtilVec& o) const noexcept {
+    UtilVec r = *this;
+    r += o;
+    return r;
+  }
+  [[nodiscard]] UtilVec operator-(const UtilVec& o) const noexcept {
+    return UtilVec{cpu - o.cpu, mem - o.mem, io - o.io, bw - o.bw};
+  }
+  [[nodiscard]] UtilVec operator*(double s) const noexcept {
+    return UtilVec{cpu * s, mem * s, io * s, bw * s};
+  }
+};
+
+}  // namespace voprof::model

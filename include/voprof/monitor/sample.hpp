@@ -1,0 +1,53 @@
+#pragma once
+/// \file sample.hpp
+/// Utilization readings: the four metrics of the paper (CPU %, memory
+/// MiB, disk I/O blocks/s, network bandwidth Kb/s) for one entity over
+/// one sampling interval, and helpers to derive them from counter
+/// snapshots.
+
+#include "voprof/xensim/counters.hpp"
+
+namespace voprof::mon {
+
+/// One entity's utilization over one interval.
+struct UtilSample {
+  double cpu_pct = 0.0;
+  double mem_mib = 0.0;
+  double io_blocks_per_s = 0.0;
+  double bw_kbps = 0.0;
+
+  UtilSample& operator+=(const UtilSample& o) noexcept {
+    cpu_pct += o.cpu_pct;
+    mem_mib += o.mem_mib;
+    io_blocks_per_s += o.io_blocks_per_s;
+    bw_kbps += o.bw_kbps;
+    return *this;
+  }
+  [[nodiscard]] UtilSample operator+(const UtilSample& o) const noexcept {
+    UtilSample r = *this;
+    r += o;
+    return r;
+  }
+  [[nodiscard]] UtilSample operator*(double s) const noexcept {
+    return UtilSample{cpu_pct * s, mem_mib * s, io_blocks_per_s * s,
+                      bw_kbps * s};
+  }
+};
+
+/// Utilization of a domain between two cumulative-counter snapshots
+/// taken `interval_s` seconds apart. Bandwidth counts tx + rx (what
+/// ifconfig byte counters report).
+[[nodiscard]] UtilSample domain_util(const sim::DomainCounters& prev,
+                                     const sim::DomainCounters& cur,
+                                     double interval_s);
+
+/// Physical-device utilization between two snapshots.
+struct DeviceUtil {
+  double disk_blocks_per_s = 0.0;
+  double nic_kbps = 0.0;
+};
+[[nodiscard]] DeviceUtil device_util(const sim::DeviceCounters& prev,
+                                     const sim::DeviceCounters& cur,
+                                     double interval_s);
+
+}  // namespace voprof::mon

@@ -1,0 +1,153 @@
+#pragma once
+/// \file tools.hpp
+/// The measurement tools of Table I, with exactly the capability matrix
+/// the paper lists and a per-tool self-overhead. No single tool covers
+/// every (entity, metric) cell — that is the paper's motivation for the
+/// combined measurement script (Sec. III-A).
+///
+///   tool      VM:cpu mem io bw | Dom0:cpu mem io bw | PM/hyp:cpu mem io bw
+///   xentop      Y     -  Y  Y  |   Y      -   Y  Y  |   -       -   -  -
+///   top         Y*    Y* -  -  |   Y      Y   -  -  |   -       -   -  -
+///   mpstat      Y*    -  -  -  |   -      -   -  -  |   Y       -   -  -
+///   ifconfig    -     -  -  Y* |   -      -   -  -  |   -       -   -  Y
+///   vmstat      Y*    Y* Y* -  |   -      Y   -  -  |   Y       -   Y  -
+///   (* = must run inside the VM)
+
+#include <optional>
+#include <string>
+
+#include "voprof/monitor/sample.hpp"
+#include "voprof/xensim/counters.hpp"
+
+namespace voprof::mon {
+
+/// Where a tool instance executes; determines whose CPU its overhead
+/// perturbs (Table I's footnote: some tools must run inside the VM).
+enum class ToolHost { kDom0, kGuest };
+
+/// Metric identifiers matching the paper's four columns.
+enum class Metric { kCpu, kMem, kIo, kBw };
+
+/// Entity classes of Table I's column groups.
+enum class EntityClass { kVm, kDom0, kPmOrHypervisor };
+
+/// Static description of one measurement tool.
+struct ToolInfo {
+  std::string name;
+  ToolHost host = ToolHost::kDom0;
+  /// CPU the tool consumes on its host while running, % of one core.
+  double self_cpu_pct = 0.0;
+};
+
+/// Base class: a tool can answer some (entity, metric) cells from a
+/// pair of machine snapshots. Cells outside its capability return
+/// nullopt (the paper's '-' entries).
+class Tool {
+ public:
+  virtual ~Tool() = default;
+
+  [[nodiscard]] virtual const ToolInfo& info() const noexcept = 0;
+
+  /// Whether this tool can observe `metric` for `entity` (Table I).
+  [[nodiscard]] virtual bool can_measure(EntityClass entity,
+                                         Metric metric) const noexcept = 0;
+
+  /// Read a VM cell; `vm_name` selects the guest. nullopt if
+  /// unsupported.
+  [[nodiscard]] virtual std::optional<double> read_vm(
+      const sim::MachineSnapshot& prev, const sim::MachineSnapshot& cur,
+      const std::string& vm_name, Metric metric) const;
+
+  /// Read a Dom0 cell.
+  [[nodiscard]] virtual std::optional<double> read_dom0(
+      const sim::MachineSnapshot& prev, const sim::MachineSnapshot& cur,
+      Metric metric) const;
+
+  /// Read a PM / hypervisor cell (the paper folds the two together in
+  /// Table I: mpstat reads hypervisor CPU, vmstat/ifconfig read PM I/O
+  /// and bandwidth).
+  [[nodiscard]] virtual std::optional<double> read_pm(
+      const sim::MachineSnapshot& prev, const sim::MachineSnapshot& cur,
+      Metric metric) const;
+
+ protected:
+  [[nodiscard]] static double interval_s(const sim::MachineSnapshot& prev,
+                                         const sim::MachineSnapshot& cur);
+};
+
+/// xentop: per-domain CPU/IO/BW from hypervisor accounting, run in Dom0.
+class XenTop final : public Tool {
+ public:
+  [[nodiscard]] const ToolInfo& info() const noexcept override;
+  [[nodiscard]] bool can_measure(EntityClass, Metric) const noexcept override;
+  [[nodiscard]] std::optional<double> read_vm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              const std::string&,
+                                              Metric) const override;
+  [[nodiscard]] std::optional<double> read_dom0(const sim::MachineSnapshot&,
+                                                const sim::MachineSnapshot&,
+                                                Metric) const override;
+};
+
+/// top: CPU/memory of processes; must run inside the VM for guest
+/// metrics (the paper uses it for VM memory).
+class TopTool final : public Tool {
+ public:
+  [[nodiscard]] const ToolInfo& info() const noexcept override;
+  [[nodiscard]] bool can_measure(EntityClass, Metric) const noexcept override;
+  [[nodiscard]] std::optional<double> read_vm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              const std::string&,
+                                              Metric) const override;
+  [[nodiscard]] std::optional<double> read_dom0(const sim::MachineSnapshot&,
+                                                const sim::MachineSnapshot&,
+                                                Metric) const override;
+};
+
+/// mpstat: hypervisor CPU (the paper runs it "in Xen").
+class MpStat final : public Tool {
+ public:
+  [[nodiscard]] const ToolInfo& info() const noexcept override;
+  [[nodiscard]] bool can_measure(EntityClass, Metric) const noexcept override;
+  [[nodiscard]] std::optional<double> read_vm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              const std::string&,
+                                              Metric) const override;
+  [[nodiscard]] std::optional<double> read_pm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              Metric) const override;
+};
+
+/// ifconfig: NIC byte counters -> PM bandwidth (and VM bandwidth when
+/// run inside the guest).
+class IfConfig final : public Tool {
+ public:
+  [[nodiscard]] const ToolInfo& info() const noexcept override;
+  [[nodiscard]] bool can_measure(EntityClass, Metric) const noexcept override;
+  [[nodiscard]] std::optional<double> read_vm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              const std::string&,
+                                              Metric) const override;
+  [[nodiscard]] std::optional<double> read_pm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              Metric) const override;
+};
+
+/// vmstat: PM CPU/IO plus guest metrics when run inside the VM.
+class VmStat final : public Tool {
+ public:
+  [[nodiscard]] const ToolInfo& info() const noexcept override;
+  [[nodiscard]] bool can_measure(EntityClass, Metric) const noexcept override;
+  [[nodiscard]] std::optional<double> read_vm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              const std::string&,
+                                              Metric) const override;
+  [[nodiscard]] std::optional<double> read_dom0(const sim::MachineSnapshot&,
+                                                const sim::MachineSnapshot&,
+                                                Metric) const override;
+  [[nodiscard]] std::optional<double> read_pm(const sim::MachineSnapshot&,
+                                              const sim::MachineSnapshot&,
+                                              Metric) const override;
+};
+
+}  // namespace voprof::mon

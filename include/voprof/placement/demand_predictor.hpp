@@ -1,0 +1,52 @@
+#pragma once
+/// \file demand_predictor.hpp
+/// CloudScale-style online resource-demand prediction (the system the
+/// paper builds on in Sec. VI-B, [8]): predict a VM's near-future
+/// demand from a sliding window of recent utilization samples, with
+/// burst padding so under-prediction is rare. CloudScale's FFT
+/// signature + Markov correction is summarized here by its effective
+/// behaviour at placement time: a windowed peak estimate plus a
+/// configurable padding fraction.
+
+#include <vector>
+
+#include "voprof/core/utilvec.hpp"
+#include "voprof/monitor/script.hpp"
+
+namespace voprof::place {
+
+struct DemandPredictorConfig {
+  /// Number of most-recent samples considered.
+  std::size_t window = 60;
+  /// Burst padding added on top of the windowed peak (CloudScale adds
+  /// padding proportional to recent prediction errors; 5 % default).
+  double padding = 0.05;
+  /// Percentile within the window used as the base estimate (100 =
+  /// strict peak; slightly lower is robust to one-off spikes).
+  double base_percentile = 95.0;
+};
+
+class DemandPredictor {
+ public:
+  explicit DemandPredictor(DemandPredictorConfig config = {});
+
+  /// Predict demand from a trace of per-interval utilization vectors
+  /// (only the trailing `window` samples are used). Requires a
+  /// non-empty trace.
+  [[nodiscard]] model::UtilVec predict(
+      const std::vector<model::UtilVec>& trace) const;
+
+  /// Convenience: predict from a monitored entity's series.
+  [[nodiscard]] model::UtilVec predict_series(const mon::SeriesSet& s) const;
+
+  [[nodiscard]] const DemandPredictorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] double predict_metric(std::vector<double> window_values) const;
+
+  DemandPredictorConfig config_;
+};
+
+}  // namespace voprof::place

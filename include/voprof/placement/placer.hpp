@@ -1,0 +1,84 @@
+#pragma once
+/// \file placer.hpp
+/// VM placement with and without virtualization-overhead awareness
+/// (Sec. VI-B):
+///
+///  - VOU (overhead-unaware) admits a VM if the *sum of VM demands*
+///    fits the PM's raw capacity — the assumption the paper's intro
+///    calls out as "not always true".
+///  - VOA (overhead-aware) admits a VM only if the *model-predicted PM
+///    utilization* (Eq. 3: VM demands + Dom0 + hypervisor overhead)
+///    fits.
+///
+/// Both use the same measured-memory feasibility check (Dom0 resident
+/// memory counts, which is what made the paper's VOU spill the fifth
+/// VM to another PM).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "voprof/core/overhead_model.hpp"
+#include "voprof/xensim/spec.hpp"
+
+namespace voprof::place {
+
+/// Bookkeeping for one candidate PM during placement.
+struct PmState {
+  sim::MachineSpec spec;
+  /// Predicted demands of the VMs already placed here.
+  std::vector<model::UtilVec> vm_demands;
+  /// Configured memory of the VMs already placed here (MiB).
+  std::vector<double> vm_mem_mib;
+
+  [[nodiscard]] int vm_count() const noexcept {
+    return static_cast<int>(vm_demands.size());
+  }
+  [[nodiscard]] model::UtilVec demand_sum() const noexcept;
+  [[nodiscard]] double mem_reserved_mib() const noexcept;
+};
+
+struct PlacerConfig {
+  /// true = VOA, false = VOU.
+  bool overhead_aware = true;
+  /// VOA: ceiling for the model-predicted PM CPU (guest pool + Dom0 +
+  /// hypervisor headroom on the reference 4-core host).
+  double voa_cpu_capacity_pct = 240.0;
+  /// VOU: believes every core is available to guests.
+  double vou_cpu_capacity_pct = 400.0;
+  /// VOA: ceiling for model-predicted PM bandwidth as a fraction of
+  /// the NIC line rate.
+  double bw_capacity_frac = 0.8;
+};
+
+class Placer {
+ public:
+  /// `overhead_model` is required (and used) only in VOA mode; VOU
+  /// passes nullptr.
+  Placer(PlacerConfig config, const model::MultiVmModel* overhead_model);
+
+  /// Whether `pm` can admit a VM with the given predicted demand and
+  /// configured memory.
+  [[nodiscard]] bool fits(const PmState& pm, const model::UtilVec& demand,
+                          double vm_mem_mib) const;
+
+  /// First-fit: index of the first PM that can admit the VM, or
+  /// nullopt if none can.
+  [[nodiscard]] std::optional<std::size_t> choose(
+      const std::vector<PmState>& pms, const model::UtilVec& demand,
+      double vm_mem_mib) const;
+
+  /// choose() and record the VM in the winning PmState; falls back to
+  /// the PM with the lowest summed CPU demand when nothing fits
+  /// (returns the index either way; `forced` reports the fallback).
+  std::size_t place(std::vector<PmState>& pms, const model::UtilVec& demand,
+                    double vm_mem_mib, bool* forced = nullptr) const;
+
+  [[nodiscard]] const PlacerConfig& config() const noexcept { return config_; }
+
+ private:
+  PlacerConfig config_;
+  const model::MultiVmModel* model_;
+};
+
+}  // namespace voprof::place

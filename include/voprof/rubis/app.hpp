@@ -1,0 +1,144 @@
+#pragma once
+/// \file app.hpp
+/// RUBiS-style two-tier web application model (Sec. VI, Fig. 6): a web
+/// front-end VM on PM1, a database VM on PM2, and a client emulator on
+/// a third machine driving 300-700 simultaneous clients in closed loop
+/// (send -> wait for reply -> think).
+///
+/// Requests flow as tagged network flows through the simulated Xen
+/// stack, so every message pays the real virtualization costs
+/// (netback CPU in Dom0, hypervisor traps, NIC bytes). Request
+/// processing consumes per-request CPU in the tiers and per-query disk
+/// I/O in the database; when the hosting PM cannot grant the demanded
+/// CPU (the overloaded-placement scenarios of Fig. 10), service rates
+/// drop, queues build and throughput falls — the mechanism behind the
+/// paper's VOA-vs-VOU comparison.
+
+#include <cstdint>
+#include <string>
+
+#include "voprof/util/rng.hpp"
+#include "voprof/xensim/process.hpp"
+
+namespace voprof::rubis {
+
+/// Flow tags used between the RUBiS components.
+enum FlowTag : int {
+  kTagRequest = 101,     ///< client -> web
+  kTagResponse = 102,    ///< web -> client
+  kTagDbQuery = 103,     ///< web -> db
+  kTagDbResponse = 104,  ///< db -> web
+};
+
+/// Per-request cost model (calibrated so 500 clients load the web VM
+/// to roughly half its VCPU, matching the paper's mid-range scenario).
+struct RubisCosts {
+  double think_time_s = 5.0;       ///< mean client think time
+  double request_kbits = 2.0;      ///< client -> web payload
+  double response_kbits = 12.0;    ///< web -> client payload
+  double web_cpu_ms_per_req = 7.0; ///< front-end service demand
+  double db_fraction = 0.85;       ///< share of requests hitting the DB
+  double query_kbits = 1.5;        ///< web -> db payload
+  double db_response_kbits = 6.0;  ///< db -> web payload
+  double db_cpu_ms_per_query = 3.5;
+  double db_io_blocks_per_query = 0.4;
+  /// Client-side CPU per request (request generation + bookkeeping).
+  double client_cpu_ms_per_req = 0.3;
+};
+
+/// Web front-end tier (GuestProcess living in the web VM).
+class WebTier final : public sim::GuestProcess {
+ public:
+  /// \param db  address of the database VM
+  WebTier(RubisCosts costs, sim::NetTarget db, sim::NetTarget client,
+          std::uint64_t seed = 11);
+
+  [[nodiscard]] sim::ProcessDemand demand(util::SimMicros now,
+                                          double dt) override;
+  void granted(double cpu_frac, util::SimMicros now, double dt) override;
+  void on_receive(double kbits, int tag, util::SimMicros now) override;
+  [[nodiscard]] std::string label() const override { return "rubis-web"; }
+
+  /// Requests queued for CPU service (diagnostics).
+  [[nodiscard]] double queue_length() const noexcept { return queue_; }
+  /// Requests forwarded to the DB and not yet answered.
+  [[nodiscard]] double awaiting_db() const noexcept { return awaiting_db_; }
+  [[nodiscard]] double total_served() const noexcept { return served_; }
+
+ private:
+  RubisCosts costs_;
+  sim::NetTarget db_;
+  sim::NetTarget client_;
+  util::Rng rng_;
+  double queue_ = 0.0;        ///< requests waiting for web CPU
+  double awaiting_db_ = 0.0;  ///< requests parked on the DB round-trip
+  double db_done_ = 0.0;      ///< DB answers ready to return to clients
+  double wanted_rate_ = 0.0;  ///< requests/s requested this tick
+  double drain_rate_ = 0.0;   ///< DB answers/s returned this tick
+  double served_ = 0.0;       ///< responses sent (cumulative)
+};
+
+/// Database tier (GuestProcess living in the DB VM).
+class DbTier final : public sim::GuestProcess {
+ public:
+  DbTier(RubisCosts costs, sim::NetTarget web, std::uint64_t seed = 12);
+
+  [[nodiscard]] sim::ProcessDemand demand(util::SimMicros now,
+                                          double dt) override;
+  void granted(double cpu_frac, util::SimMicros now, double dt) override;
+  void on_receive(double kbits, int tag, util::SimMicros now) override;
+  [[nodiscard]] std::string label() const override { return "rubis-db"; }
+
+  [[nodiscard]] double queue_length() const noexcept { return queue_; }
+  [[nodiscard]] double total_served() const noexcept { return served_; }
+
+ private:
+  RubisCosts costs_;
+  sim::NetTarget web_;
+  util::Rng rng_;
+  double queue_ = 0.0;
+  double wanted_rate_ = 0.0;
+  double served_ = 0.0;
+};
+
+/// Closed-loop client emulator (GuestProcess living in a VM on the
+/// client machine). Tracks completed requests for throughput metrics.
+class ClientEmulator final : public sim::GuestProcess {
+ public:
+  ClientEmulator(RubisCosts costs, sim::NetTarget web, int clients,
+                 std::uint64_t seed = 13);
+
+  [[nodiscard]] sim::ProcessDemand demand(util::SimMicros now,
+                                          double dt) override;
+  void granted(double cpu_frac, util::SimMicros now, double dt) override;
+  void on_receive(double kbits, int tag, util::SimMicros now) override;
+  [[nodiscard]] std::string label() const override { return "rubis-client"; }
+
+  /// Change the number of emulated clients (the paper ramps 300->700).
+  void set_clients(int clients);
+  [[nodiscard]] int clients() const noexcept { return clients_; }
+
+  /// Completed request count since construction.
+  [[nodiscard]] double completed() const noexcept { return completed_; }
+  /// Requests in flight (sent, no response yet).
+  [[nodiscard]] double in_flight() const noexcept { return in_flight_; }
+  /// Clients currently in think state.
+  [[nodiscard]] double thinking() const noexcept { return thinking_; }
+
+  /// Throughput over a window: (completed_now - completed_then) / dt.
+  [[nodiscard]] double completed_since(double mark) const noexcept {
+    return completed_ - mark;
+  }
+
+ private:
+  RubisCosts costs_;
+  sim::NetTarget web_;
+  util::Rng rng_;
+  int clients_;
+  double thinking_;   ///< clients currently in think state
+  double send_rate_ = 0.0;  ///< requests/s emitted this tick
+  double in_flight_ = 0.0;
+  double completed_ = 0.0;
+};
+
+}  // namespace voprof::rubis

@@ -1,0 +1,66 @@
+#pragma once
+/// \file deployment.hpp
+/// Wiring helpers for the Fig. 6 topology: web tier on one PM, DB tier
+/// on another, client emulator on a third machine, all connected
+/// through the simulated network.
+
+#include <string>
+#include <vector>
+
+#include "voprof/rubis/app.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::rubis {
+
+/// Handles to one deployed RUBiS instance. Pointers are owned by the
+/// VMs; valid while the VMs exist.
+struct RubisInstance {
+  WebTier* web = nullptr;
+  DbTier* db = nullptr;
+  ClientEmulator* client = nullptr;
+  std::string web_vm;
+  std::string db_vm;
+  std::string client_vm;
+};
+
+/// Options for one instance.
+struct DeployOptions {
+  int clients = 500;
+  RubisCosts costs;
+  /// Suffix appended to VM names so several instances can coexist
+  /// (the paper runs up to three RUBiS sets, Sec. VI-A).
+  std::string suffix;
+  sim::VmSpec vm_spec;  ///< template for web/db VMs (name is overridden)
+  std::uint64_t seed = 20;
+};
+
+/// Deploy one RUBiS instance: creates web/db/client VMs on the given
+/// machines of `cluster` and attaches the tier processes.
+[[nodiscard]] RubisInstance deploy_rubis(sim::Cluster& cluster,
+                                         std::size_t pm_web,
+                                         std::size_t pm_db,
+                                         std::size_t pm_client,
+                                         const DeployOptions& options);
+
+/// Attach the web/db tier processes of one instance to pre-existing
+/// VMs (used by the placement experiments, where VM->PM assignment is
+/// decided by the placer first). The client VM is created on
+/// `pm_client`.
+[[nodiscard]] RubisInstance wire_rubis(sim::Cluster& cluster,
+                                       std::size_t pm_web, std::size_t pm_db,
+                                       const std::string& web_vm,
+                                       const std::string& db_vm,
+                                       std::size_t pm_client,
+                                       const DeployOptions& options);
+
+/// The paper's variable-rate protocol (Sec. VI-A): "created a variable
+/// rate workload for RUBiS by increasing the number of clients over a
+/// ten minute period. The system was loaded between 300 and 700
+/// simultaneous clients." Schedules stepwise client-count increases on
+/// the engine; the emulator ramps from `from` to `to` over `duration`
+/// in `steps` equal increments.
+void schedule_client_ramp(sim::Engine& engine, ClientEmulator& client,
+                          int from, int to, util::SimMicros duration,
+                          int steps = 4);
+
+}  // namespace voprof::rubis

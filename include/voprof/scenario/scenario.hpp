@@ -1,0 +1,82 @@
+#pragma once
+/// \file scenario.hpp
+/// Declarative experiment runner: describe a testbed in a small INI
+/// file and run it — machines, guests with workloads, monitors — so
+/// new measurement studies need no C++. Used by `voprofctl simulate`.
+///
+/// ```ini
+/// [cluster]
+/// seed = 42
+/// machines = 2          # host PMs (a client/aux PM is just another machine)
+///
+/// [vm web]              # one section per guest
+/// machine = 0
+/// cpu = 55              # MixedWorkload levels; omit for idle
+/// bw = 1800
+/// bw_target_machine = 1 # optional: send traffic to a VM...
+/// bw_target_vm = sink   # ...instead of an external host
+///
+/// [vm sink]
+/// machine = 1
+///
+/// [monitor]             # one per machine to measure
+/// machine = 0
+///
+/// [run]
+/// duration = 60         # seconds
+/// warmup = 5
+/// ```
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "voprof/monitor/script.hpp"
+#include "voprof/util/ini.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::scenario {
+
+/// Parsed, validated scenario description.
+struct ScenarioSpec {
+  std::uint64_t seed = 42;
+  int machines = 1;
+  sim::SchedulerMode scheduler = sim::SchedulerMode::kMacro;
+  double warmup_s = 0.0;
+  double duration_s = 60.0;
+
+  struct VmEntry {
+    std::string name;
+    int machine = 0;
+    double cpu_pct = 0.0;
+    double mem_mib = 0.0;
+    double io_blocks = 0.0;
+    double bw_kbps = 0.0;
+    int bw_target_machine = sim::NetTarget::kExternal;
+    std::string bw_target_vm;
+    /// Replay a recorded CSV trace (columns vm_{cpu,mem,io,bw}) instead
+    /// of steady levels; mutually exclusive with cpu/mem/io/bw keys.
+    std::string trace_path;
+    double trace_interval_s = 1.0;
+  };
+  std::vector<VmEntry> vms;
+  std::vector<int> monitored_machines;
+
+  /// Parse + validate from INI text; throws ContractViolation with a
+  /// line/section message on any problem.
+  [[nodiscard]] static ScenarioSpec parse(const std::string& text);
+  [[nodiscard]] static ScenarioSpec load(const std::string& path);
+};
+
+/// Result: one report per monitored machine, keyed by machine index.
+struct ScenarioResult {
+  std::map<int, mon::MeasurementReport> reports;
+  /// Summary table of every monitored entity's mean utilizations.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Build the testbed and run it.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace voprof::scenario

@@ -1,0 +1,47 @@
+#pragma once
+/// \file cli.hpp
+/// Minimal command-line argument parsing for the voprofctl tool:
+/// `program <command> [--flag value] [--switch]`. No external
+/// dependencies, strict about unknown flags.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace voprof::util {
+
+class CliArgs {
+ public:
+  /// Parse argv starting after the program name. The first
+  /// non-flag token becomes the command; everything else must be
+  /// `--name value` or a registered boolean `--switch`.
+  /// `bool_flags` lists the switches that take no value.
+  [[nodiscard]] static CliArgs parse(
+      int argc, const char* const* argv,
+      const std::vector<std::string>& bool_flags = {});
+
+  [[nodiscard]] const std::string& command() const noexcept {
+    return command_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const noexcept;
+
+  /// Value of --name; throws ContractViolation if absent.
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const noexcept;
+
+  /// Flags the caller never queried (for strict validation).
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> switches_;
+};
+
+}  // namespace voprof::util

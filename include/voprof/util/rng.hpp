@@ -1,0 +1,173 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// Every stochastic component in voprof takes an explicit seed so that
+/// all experiments are reproducible run-to-run (the paper averages 120
+/// one-second samples; we need identical sample streams for regression
+/// tests). The generator is xoshiro256** seeded via SplitMix64, which is
+/// fast, high-quality and fully portable (no libstdc++-dependent
+/// distribution behaviour for the core stream).
+
+#include <array>
+#include <cstdint>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::util {
+
+/// SplitMix64 stepper; used to expand a single 64-bit seed into the
+/// xoshiro256** state. Also usable as a tiny standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies the
+/// UniformRandomBitGenerator requirements.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead 2^128 steps; used to derive independent sub-streams.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (1ULL << b)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience wrapper exposing the distributions voprof needs, with
+/// implementations that do not depend on standard-library distribution
+/// internals (bit-identical across toolchains).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) noexcept : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    // 53 random mantissa bits.
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) {
+    VOPROF_REQUIRE(n > 0);
+    // Lemire-style rejection to remove modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    for (;;) {
+      const std::uint64_t r = gen_();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given seed).
+  [[nodiscard]] double gaussian() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = sqrt_impl(-2.0 * log_impl(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  [[nodiscard]] double exponential(double rate) {
+    VOPROF_REQUIRE(rate > 0.0);
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -log_impl(u) / rate;
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent generator (jump-ahead sub-stream).
+  [[nodiscard]] Rng split() noexcept {
+    Rng child = *this;
+    child.gen_.jump();
+    child.have_spare_ = false;
+    gen_();  // perturb parent so repeated split() calls differ
+    return child;
+  }
+
+  /// Raw 64-bit output (UniformRandomBitGenerator-compatible use).
+  [[nodiscard]] std::uint64_t bits() noexcept { return gen_(); }
+
+ private:
+  // Thin wrappers so <cmath> stays out of this header's public surface.
+  static double sqrt_impl(double x) noexcept;
+  static double log_impl(double x) noexcept;
+
+  Xoshiro256ss gen_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace voprof::util

@@ -1,0 +1,49 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table formatting for the bench harnesses: every bench binary
+/// prints the rows/series of one paper table or figure, so all of them
+/// share this aligned-column writer.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace voprof::util {
+
+/// Column-aligned ASCII table with an optional title and rule lines.
+///
+/// Usage:
+///   AsciiTable t("Figure 2(a): ...");
+///   t.set_header({"input%", "VM", "Dom0", "Hyp"});
+///   t.add_row({"30", "29.9", "18.2", "5.1"});
+///   std::cout << t.str();
+class AsciiTable {
+ public:
+  AsciiTable() = default;
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule line
+};
+
+/// Format a double with fixed precision (default 2 decimals).
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+
+/// Format "measured (paper anchor)" pairs, e.g. "29.43 (29.5)".
+[[nodiscard]] std::string fmt_vs(double measured, double paper,
+                                 int decimals = 1);
+
+}  // namespace voprof::util

@@ -1,0 +1,59 @@
+#pragma once
+/// \file time_series.hpp
+/// A timestamped sample series, mirroring the paper's measurement logs:
+/// one value per sampling interval, with helpers for averaging windows
+/// (the paper reports 2-minute averages of 1 s samples) and slicing.
+
+#include <cstddef>
+#include <vector>
+
+#include "voprof/util/stats.hpp"
+#include "voprof/util/units.hpp"
+
+namespace voprof::util {
+
+/// One (time, value) observation.
+struct TimedSample {
+  SimMicros time = 0;
+  double value = 0.0;
+};
+
+/// Append-only series of timestamped samples (monotone non-decreasing
+/// timestamps enforced).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  void add(SimMicros time, double value);
+  void clear() noexcept { samples_.clear(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const TimedSample& operator[](std::size_t i) const;
+  [[nodiscard]] const std::vector<TimedSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// All values (timestamps dropped).
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Mean of all values (0 if empty).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Mean over samples with time in [from, to).
+  [[nodiscard]] double mean_between(SimMicros from, SimMicros to) const noexcept;
+
+  /// Summary statistics over all values.
+  [[nodiscard]] RunningStats stats() const noexcept;
+
+  /// New series containing samples with time in [from, to).
+  [[nodiscard]] TimeSeries slice(SimMicros from, SimMicros to) const;
+
+  /// Last value, or fallback if empty.
+  [[nodiscard]] double last_or(double fallback) const noexcept;
+
+ private:
+  std::vector<TimedSample> samples_;
+};
+
+}  // namespace voprof::util

@@ -1,0 +1,59 @@
+#pragma once
+/// \file units.hpp
+/// Unit conventions and conversion helpers.
+///
+/// The paper mixes units freely (Mb/s workload inputs, Kb/s utilization
+/// plots, bytes/s overheads, blocks/s I/O). voprof standardizes on:
+///   - CPU:        percent of one core/VCPU (100.0 == one full core)
+///   - memory:     MiB
+///   - disk I/O:   blocks per second (one block == 512 bytes, as vmstat)
+///   - bandwidth:  Kb/s (kilobits per second) internally
+/// and converts at the edges with the helpers below.
+
+namespace voprof::util {
+
+inline constexpr double kBitsPerByte = 8.0;
+inline constexpr double kBytesPerBlock = 512.0;
+
+/// Megabits/s -> kilobits/s (paper's workload knob -> internal unit).
+[[nodiscard]] constexpr double mbps_to_kbps(double mbps) noexcept {
+  return mbps * 1000.0;
+}
+
+/// Kilobits/s -> megabits/s.
+[[nodiscard]] constexpr double kbps_to_mbps(double kbps) noexcept {
+  return kbps / 1000.0;
+}
+
+/// Bytes/s -> kilobits/s (paper reports some overheads in bytes/s).
+[[nodiscard]] constexpr double bytes_per_s_to_kbps(double bps) noexcept {
+  return bps * kBitsPerByte / 1000.0;
+}
+
+/// Kilobits/s -> bytes/s.
+[[nodiscard]] constexpr double kbps_to_bytes_per_s(double kbps) noexcept {
+  return kbps * 1000.0 / kBitsPerByte;
+}
+
+/// Blocks/s -> kilobits/s of disk traffic.
+[[nodiscard]] constexpr double blocks_to_kbps(double blocks_per_s) noexcept {
+  return blocks_per_s * kBytesPerBlock * kBitsPerByte / 1000.0;
+}
+
+/// Simulation time is tracked in integer microseconds.
+using SimMicros = long long;
+
+inline constexpr SimMicros kMicrosPerMilli = 1000;
+inline constexpr SimMicros kMicrosPerSecond = 1000 * 1000;
+
+[[nodiscard]] constexpr SimMicros seconds(double s) noexcept {
+  return static_cast<SimMicros>(s * static_cast<double>(kMicrosPerSecond));
+}
+[[nodiscard]] constexpr SimMicros milliseconds(double ms) noexcept {
+  return static_cast<SimMicros>(ms * static_cast<double>(kMicrosPerMilli));
+}
+[[nodiscard]] constexpr double to_seconds(SimMicros t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+
+}  // namespace voprof::util

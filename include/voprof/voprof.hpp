@@ -1,0 +1,52 @@
+#pragma once
+/// \file voprof.hpp
+/// Umbrella header for the voprof library — the full pipeline of the
+/// ICPP'15 paper "Profiling and Understanding Virtualization Overhead
+/// in Cloud":
+///
+///   xensim    — simulated Xen testbed (Dom0, hypervisor, credit
+///               scheduler, virtual disks, VIFs/bridge)
+///   workloads — Table II micro-benchmarks (CPU/MEM/I/O/BW hogs)
+///   monitor   — Table I tools + the synchronized measurement script
+///   core      — Sec. V overhead models (Eq. 1-3), regression, trainer,
+///               predictor
+///   rubis     — the RUBiS-style two-tier evaluation application
+///   placement — CloudScale-style VOA/VOU placement (Sec. VI-B)
+
+#include "voprof/core/diagnostics.hpp"
+#include "voprof/core/hetero_model.hpp"
+#include "voprof/core/hetero_trainer.hpp"
+#include "voprof/core/overhead_model.hpp"
+#include "voprof/core/predictor.hpp"
+#include "voprof/core/regression.hpp"
+#include "voprof/core/serialize.hpp"
+#include "voprof/core/trainer.hpp"
+#include "voprof/core/utilvec.hpp"
+#include "voprof/monitor/sample.hpp"
+#include "voprof/monitor/script.hpp"
+#include "voprof/monitor/tools.hpp"
+#include "voprof/util/csv.hpp"
+#include "voprof/util/matrix.hpp"
+#include "voprof/util/rng.hpp"
+#include "voprof/util/stats.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/time_series.hpp"
+#include "voprof/util/units.hpp"
+#include "voprof/placement/demand_predictor.hpp"
+#include "voprof/placement/evaluation.hpp"
+#include "voprof/placement/hotspot.hpp"
+#include "voprof/placement/placer.hpp"
+#include "voprof/rubis/app.hpp"
+#include "voprof/rubis/deployment.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/workloads/levels.hpp"
+#include "voprof/workloads/trace.hpp"
+#include "voprof/xensim/cluster.hpp"
+#include "voprof/xensim/cost_model.hpp"
+#include "voprof/xensim/counters.hpp"
+#include "voprof/xensim/domain.hpp"
+#include "voprof/xensim/engine.hpp"
+#include "voprof/xensim/machine.hpp"
+#include "voprof/xensim/process.hpp"
+#include "voprof/xensim/scheduler.hpp"
+#include "voprof/xensim/spec.hpp"

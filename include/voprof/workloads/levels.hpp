@@ -1,0 +1,56 @@
+#pragma once
+/// \file levels.hpp
+/// Table II of the paper: the five intensity levels of each generated
+/// benchmark, plus a factory that builds the matching hog.
+///
+///   Workload             level 1   2     3     4     5
+///   CPU-intensive (%)    1         30    60    90    99
+///   MEM-intensive (Mb)   0.03      5     10    20    50
+///   I/O-intensive (bl/s) 15        19    27    46    72
+///   BW-intensive (Mb/s)  0.001     0.16  0.32  0.64  1.28
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "voprof/workloads/hogs.hpp"
+
+namespace voprof::wl {
+
+/// The four benchmark families of Table II.
+enum class WorkloadKind { kCpu, kMem, kIo, kBw };
+
+inline constexpr std::size_t kLevelCount = 5;
+
+/// Table II values, in the module's canonical units (CPU %, MiB,
+/// blocks/s, Kb/s — the BW row is converted from the paper's Mb/s).
+inline constexpr std::array<double, kLevelCount> kCpuLevelsPct = {1, 30, 60,
+                                                                  90, 99};
+inline constexpr std::array<double, kLevelCount> kMemLevelsMib = {0.03, 5, 10,
+                                                                  20, 50};
+inline constexpr std::array<double, kLevelCount> kIoLevelsBlocks = {15, 19, 27,
+                                                                    46, 72};
+inline constexpr std::array<double, kLevelCount> kBwLevelsKbps = {
+    0.001 * 1000, 0.16 * 1000, 0.32 * 1000, 0.64 * 1000, 1.28 * 1000};
+
+/// Intensity value of `kind` at `level` (0-based). Throws on bad level.
+[[nodiscard]] double level_value(WorkloadKind kind, std::size_t level);
+
+/// Printable name ("CPU-intensive", ...).
+[[nodiscard]] std::string kind_name(WorkloadKind kind);
+
+/// Unit suffix for tables ("%", "Mb", "blocks/s", "Kb/s").
+[[nodiscard]] std::string kind_unit(WorkloadKind kind);
+
+/// Build the hog for a (kind, level) cell of Table II. BW workloads
+/// need a destination; pass sim::NetTarget{} for an external host.
+[[nodiscard]] std::unique_ptr<sim::GuestProcess> make_workload(
+    WorkloadKind kind, std::size_t level, sim::NetTarget bw_target = {},
+    std::uint64_t seed = 7);
+
+/// Build a hog with an explicit intensity instead of a Table II level.
+[[nodiscard]] std::unique_ptr<sim::GuestProcess> make_workload_value(
+    WorkloadKind kind, double value, sim::NetTarget bw_target = {},
+    std::uint64_t seed = 7);
+
+}  // namespace voprof::wl

@@ -1,0 +1,63 @@
+#pragma once
+/// \file counters.hpp
+/// Cumulative activity counters for simulated entities, and the
+/// snapshot structs the monitoring tools sample. All counters are
+/// monotonically non-decreasing except memory, which is a gauge —
+/// exactly the split real /proc and xentop expose.
+
+#include <string>
+#include <vector>
+
+#include "voprof/util/units.hpp"
+
+namespace voprof::sim {
+
+/// Cumulative counters for one schedulable entity (a DomU, Dom0 or the
+/// hypervisor's accounting bucket).
+struct DomainCounters {
+  /// Core-seconds of CPU actually consumed (100 % for 1 s == 1.0).
+  double cpu_core_seconds = 0.0;
+  /// Guest-visible disk blocks submitted (512-byte blocks).
+  double io_blocks = 0.0;
+  /// Kilobits transmitted / received through the VIF.
+  double tx_kbits = 0.0;
+  double rx_kbits = 0.0;
+  /// Resident memory gauge, MiB.
+  double mem_mib = 0.0;
+
+  void add(const DomainCounters& d) noexcept {
+    cpu_core_seconds += d.cpu_core_seconds;
+    io_blocks += d.io_blocks;
+    tx_kbits += d.tx_kbits;
+    rx_kbits += d.rx_kbits;
+    mem_mib += d.mem_mib;
+  }
+};
+
+/// Cumulative counters for physical devices of one PM.
+struct DeviceCounters {
+  /// Blocks issued to the physical disk (after virtual-disk striping).
+  double disk_blocks = 0.0;
+  /// Kilobits through the physical NIC (tx + rx).
+  double nic_kbits = 0.0;
+};
+
+/// Point-in-time snapshot of one domain, labeled for the monitors.
+struct DomainSnapshot {
+  std::string name;
+  DomainCounters counters;
+};
+
+/// Snapshot of an entire PM at a given sim time.
+struct MachineSnapshot {
+  util::SimMicros time = 0;
+  DomainSnapshot dom0;
+  DomainCounters hypervisor;  ///< hypervisor CPU accounting (cpu only)
+  std::vector<DomainSnapshot> guests;
+  DeviceCounters devices;
+
+  /// Find a guest snapshot by name; throws if absent.
+  [[nodiscard]] const DomainSnapshot& guest(const std::string& name) const;
+};
+
+}  // namespace voprof::sim

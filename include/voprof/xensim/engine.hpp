@@ -1,0 +1,83 @@
+#pragma once
+/// \file engine.hpp
+/// Simulation clock and event loop.
+///
+/// The engine advances time in fixed ticks (default 10 ms, the credit
+/// scheduler's accounting period in Xen) and interleaves a deterministic
+/// timer-event queue: events scheduled for time t fire before the tick
+/// covering t executes. Tick listeners are the physical machines (via
+/// Cluster); timer events drive workload phase changes and the
+/// monitoring script's sampling.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "voprof/util/units.hpp"
+
+namespace voprof::sim {
+
+/// Object notified on every simulation tick.
+class TickListener {
+ public:
+  virtual ~TickListener() = default;
+  /// Advance by dt seconds, ending at sim time `now`.
+  virtual void tick(util::SimMicros now, double dt) = 0;
+};
+
+/// Deterministic discrete-time engine.
+class Engine {
+ public:
+  explicit Engine(util::SimMicros tick_period = 10 * util::kMicrosPerMilli);
+
+  [[nodiscard]] util::SimMicros now() const noexcept { return now_; }
+  [[nodiscard]] util::SimMicros tick_period() const noexcept {
+    return tick_period_;
+  }
+
+  /// Register a tick listener (not owned). Listeners tick in
+  /// registration order.
+  void add_listener(TickListener* listener);
+  void remove_listener(TickListener* listener) noexcept;
+
+  /// Schedule a one-shot callback at absolute sim time `at` (>= now).
+  /// Events at equal times fire in scheduling order.
+  void schedule_at(util::SimMicros at, std::function<void()> fn);
+  /// Schedule relative to the current time.
+  void schedule_after(util::SimMicros delay, std::function<void()> fn);
+  /// Schedule a periodic callback; continues until the engine stops.
+  void schedule_every(util::SimMicros period, std::function<void()> fn);
+
+  /// Advance simulated time to `until`, firing events and ticks.
+  void run_until(util::SimMicros until);
+  /// Advance by a duration.
+  void run_for(util::SimMicros duration);
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return events_.size();
+  }
+
+ private:
+  struct Event {
+    util::SimMicros at;
+    std::uint64_t seq;  // tiebreaker: FIFO among equal timestamps
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire_due_events(util::SimMicros up_to_inclusive);
+
+  util::SimMicros tick_period_;
+  util::SimMicros now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<TickListener*> listeners_;
+};
+
+}  // namespace voprof::sim

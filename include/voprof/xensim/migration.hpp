@@ -1,0 +1,92 @@
+#pragma once
+/// \file migration.hpp
+/// Live VM migration between PMs of a cluster — the management action
+/// the paper's introduction motivates ("migrate VMs out of a PM to
+/// release load", Sandpiper [5] / CloudScale [8] style). Pre-copy
+/// model: while the VM keeps running on the source, its memory pages
+/// stream through both Dom0s and NICs (paying the same netback CPU and
+/// bandwidth costs as any other inter-PM traffic), then the domain
+/// switches over in one tick.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "voprof/util/units.hpp"
+
+namespace voprof::sim {
+
+class Cluster;
+
+/// Tuning knobs for one migration.
+struct MigrationConfig {
+  /// Transfer-rate cap in Kb/s (Xen defaults to using a large share of
+  /// the NIC; 300 Mb/s keeps RUBiS traffic alive during the copy).
+  double rate_kbps = 300000.0;
+  /// Pages dirtied while copying force re-transfers; total bytes moved
+  /// = resident memory * (1 + dirty_factor).
+  double dirty_factor = 0.20;
+};
+
+/// State of an in-flight or finished migration.
+struct MigrationStatus {
+  std::string vm_name;
+  int from_pm = -1;
+  int to_pm = -1;
+  double total_kbits = 0.0;
+  double sent_kbits = 0.0;
+  bool done = false;
+  bool failed = false;      ///< VM disappeared mid-copy
+  util::SimMicros started = 0;
+  util::SimMicros finished = 0;
+
+  [[nodiscard]] double progress() const noexcept {
+    return total_kbits > 0.0 ? sent_kbits / total_kbits : 1.0;
+  }
+};
+
+/// Drives pre-copy migrations over a cluster. Tick it right after the
+/// cluster (the Cluster does this automatically once the engine is
+/// registered via Cluster::migration()).
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(Cluster& cluster);
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  /// Begin migrating `vm_name` from PM `from_pm` to PM `to_pm`.
+  /// Returns the migration id. Throws if the VM does not exist on the
+  /// source, the destination is missing/same, or the VM is already
+  /// migrating.
+  int start(const std::string& vm_name, int from_pm, int to_pm,
+            MigrationConfig config = {});
+
+  /// Status by id; throws on unknown id.
+  [[nodiscard]] const MigrationStatus& status(int id) const;
+  [[nodiscard]] std::size_t active_count() const noexcept;
+  [[nodiscard]] const std::vector<MigrationStatus>& all() const noexcept {
+    return status_;
+  }
+
+  /// Optional completion callback (id passed).
+  void on_complete(std::function<void(int)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  /// Advance all active migrations by dt seconds (called by Cluster).
+  void tick(util::SimMicros now, double dt);
+
+ private:
+  struct Active {
+    int id;
+    MigrationConfig config;
+  };
+
+  Cluster& cluster_;
+  std::vector<MigrationStatus> status_;
+  std::vector<Active> active_;
+  std::function<void(int)> on_complete_;
+};
+
+}  // namespace voprof::sim

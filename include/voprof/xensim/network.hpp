@@ -1,0 +1,70 @@
+#pragma once
+/// \file network.hpp
+/// Inter-PM network fabric: the gigabit top-of-rack switch connecting
+/// the paper's 7 PMs. Flows submitted by the sender's NIC traverse the
+/// fabric with a configurable latency and share its aggregate
+/// capacity; excess traffic queues FIFO (no loss) and drains as
+/// capacity frees up. At the paper's traffic levels (<= a few Mb/s)
+/// the fabric is invisible — it exists so saturation experiments and
+/// migration storms behave physically.
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "voprof/util/units.hpp"
+#include "voprof/xensim/machine.hpp"
+
+namespace voprof::sim {
+
+struct FabricSpec {
+  /// Aggregate switching capacity, Kb/s (non-blocking gigabit fabric
+  /// for 7 hosts).
+  double capacity_kbps = 7.0e6;
+  /// One-way latency applied to every flow.
+  util::SimMicros latency = 200;  // 0.2 ms
+};
+
+/// A flow delivery the fabric has completed.
+struct FabricDelivery {
+  int to_pm = 0;
+  std::string vm_name;
+  double kbits = 0.0;
+  int tag = 0;
+};
+
+class NetworkFabric {
+ public:
+  explicit NetworkFabric(FabricSpec spec = {});
+
+  /// Enqueue a flow leaving `from_pm` at time `now`.
+  void submit(const OutboundFlow& flow, int from_pm, util::SimMicros now);
+
+  /// Advance to `now` with a tick of `dt` seconds of switching
+  /// capacity; returns everything deliverable.
+  [[nodiscard]] std::vector<FabricDelivery> advance(util::SimMicros now,
+                                                    double dt);
+
+  /// Kilobits queued in the fabric (capacity backlog).
+  [[nodiscard]] double backlog_kbits() const noexcept;
+  /// Total kilobits ever switched.
+  [[nodiscard]] double switched_kbits() const noexcept {
+    return switched_kbits_;
+  }
+  [[nodiscard]] const FabricSpec& spec() const noexcept { return spec_; }
+
+ private:
+  struct InFlight {
+    util::SimMicros ready_at;  ///< earliest delivery (latency)
+    int to_pm;
+    std::string vm_name;
+    double kbits;
+    int tag;
+  };
+
+  FabricSpec spec_;
+  std::deque<InFlight> queue_;
+  double switched_kbits_ = 0.0;
+};
+
+}  // namespace voprof::sim

@@ -1,0 +1,82 @@
+#pragma once
+/// \file process.hpp
+/// Guest-process interface: anything that runs inside a simulated VM
+/// (the lookbusy-style hogs, the RUBiS tiers, monitoring agents)
+/// implements GuestProcess. The machine asks every process for its
+/// resource demand each tick (phase A), runs the CPU scheduler, then
+/// tells the process what fraction of its CPU demand was granted
+/// (phase B); I/O and network activity emitted in phase A are scaled by
+/// the granted fraction, modeling work that cannot happen without CPU.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "voprof/util/units.hpp"
+
+namespace voprof::sim {
+
+class DomU;
+
+/// Addressing for network flows.
+struct NetTarget {
+  /// Destination PM id; kExternal means a host outside the cluster.
+  int pm_id = kExternal;
+  /// Destination VM name on that PM (ignored for external targets).
+  std::string vm_name;
+
+  static constexpr int kExternal = -1;
+
+  [[nodiscard]] bool is_external() const noexcept {
+    return pm_id == kExternal;
+  }
+};
+
+/// One network transmission emitted during a tick.
+struct NetFlow {
+  double kbits = 0.0;  ///< payload for this tick
+  NetTarget target;
+  /// Application-level tag carried to the receiver's on_receive (e.g.
+  /// the RUBiS tiers use it to tell client requests from DB replies).
+  int tag = 0;
+};
+
+/// Resource demand of one process for one tick.
+struct ProcessDemand {
+  /// CPU demand in percent of one VCPU, sustained over the tick.
+  double cpu_pct = 0.0;
+  /// Additional resident memory the process wants to hold, MiB (gauge;
+  /// re-declared every tick).
+  double mem_mib = 0.0;
+  /// Disk blocks the process wants to submit this tick (absolute count,
+  /// already scaled by dt by the caller's rate).
+  double io_blocks = 0.0;
+  /// Network transmissions.
+  std::vector<NetFlow> flows;
+
+  ProcessDemand& operator+=(const ProcessDemand& other);
+};
+
+/// Interface for code running inside a DomU.
+class GuestProcess {
+ public:
+  virtual ~GuestProcess() = default;
+
+  /// Phase A: declare the demand for a tick of length dt seconds
+  /// starting at `now`.
+  [[nodiscard]] virtual ProcessDemand demand(util::SimMicros now,
+                                             double dt) = 0;
+
+  /// Phase B: `cpu_frac` in [0, 1] of the demanded CPU was granted.
+  /// Default: ignore (open-loop workloads do not adapt).
+  virtual void granted(double cpu_frac, util::SimMicros now, double dt);
+
+  /// Bytes delivered to this process's VM that were addressed to it,
+  /// with the sender's NetFlow::tag. Default: ignore.
+  virtual void on_receive(double kbits, int tag, util::SimMicros now);
+
+  /// Human-readable label for diagnostics.
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+}  // namespace voprof::sim

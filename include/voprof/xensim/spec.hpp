@@ -1,0 +1,81 @@
+#pragma once
+/// \file spec.hpp
+/// Hardware and VM configuration descriptors for the simulated testbed.
+///
+/// Defaults mirror the paper's cluster (Sec. III-C): XenServer 6.2 hosts
+/// with one 2.66 GHz quad-core Xeon, 2 GiB RAM, 60 GB SATA disk and a
+/// gigabit NIC; guest VMs with 1 VCPU and 256 MiB RAM running Debian
+/// Squeeze (Sec. VI-B).
+
+#include <cstddef>
+#include <string>
+
+namespace voprof::sim {
+
+/// Which guest CPU scheduler implementation a PM runs.
+enum class SchedulerMode {
+  /// Closed-form weighted water-filling — the credit scheduler's
+  /// 1-second average behaviour (fast, default).
+  kMacro,
+  /// Discrete credit scheduler (credits, UNDER/OVER priorities, 30 ms
+  /// accounting) — Xen's actual algorithm, for fidelity studies.
+  kMicro,
+};
+
+/// Physical machine hardware description.
+struct MachineSpec {
+  /// Total physical cores.
+  int cores = 4;
+  /// Cores effectively available to guest VCPUs. The paper's data shows
+  /// 2 co-located VMs saturating at 95 % each and 4 VMs at 47 % each
+  /// (Figs. 3(a), 4(a)), i.e. guests share ~2 cores while Dom0 and the
+  /// hypervisor occupy the others; XenServer 6.2 pins Dom0 VCPUs.
+  int guest_cores = 2;
+  /// Cores usable by Dom0 (its VCPUs).
+  int dom0_cores = 2;
+  double cpu_ghz = 2.66;
+  /// Physical RAM.
+  double mem_mib = 2048.0;
+  /// Fraction of RAM the placement logic treats as allocatable to
+  /// domains (leaves headroom for the hypervisor itself).
+  double usable_mem_frac = 0.90;
+  /// Disk capacity in 512-byte blocks per second (SATA; far above the
+  /// paper's workloads, so never binding in the reproduced experiments).
+  double disk_blocks_per_s = 20000.0;
+  /// NIC line rate in Kb/s (gigabit).
+  double nic_kbps = 1.0e6;
+  /// Dom0 resident memory (XenServer control domain), MiB.
+  double dom0_mem_mib = 752.0;
+  /// Guest CPU scheduler implementation.
+  SchedulerMode scheduler = SchedulerMode::kMacro;
+
+  [[nodiscard]] double guest_cpu_capacity_pct() const noexcept {
+    return 100.0 * guest_cores;
+  }
+  [[nodiscard]] double dom0_cpu_capacity_pct() const noexcept {
+    return 100.0 * dom0_cores;
+  }
+  [[nodiscard]] double usable_mem_mib() const noexcept {
+    return mem_mib * usable_mem_frac;
+  }
+};
+
+/// Guest VM configuration.
+struct VmSpec {
+  std::string name = "vm";
+  int vcpus = 1;
+  /// Configured RAM, MiB (paper: 256 MiB, Sec. VI-B).
+  double mem_mib = 256.0;
+  /// Resident memory of the idle guest OS, MiB (Debian Squeeze).
+  double os_base_mem_mib = 84.0;
+  /// Default per-VM virtual-disk throughput cap, blocks/s. The paper
+  /// observes "a maximum I/O capacity limit of about 90 blocks/s"
+  /// (Sec. IV-A, Fig. 2(c) discussion).
+  double io_cap_blocks_per_s = 90.0;
+
+  [[nodiscard]] double cpu_capacity_pct() const noexcept {
+    return 100.0 * vcpus;
+  }
+};
+
+}  // namespace voprof::sim

@@ -1,0 +1,73 @@
+#pragma once
+/// \file tracelog.hpp
+/// xentrace-style event log: a bounded ring buffer of typed simulator
+/// events (scheduler contention, device throttling, migrations, VM
+/// lifecycle) for diagnostics. Real Xen ships `xentrace`/`xenalyze`
+/// for exactly this; the paper's methodology depends on knowing what
+/// the hypervisor was doing while the counters moved.
+///
+/// The log is optional and zero-cost when absent: components emit
+/// through a nullable pointer.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "voprof/util/units.hpp"
+
+namespace voprof::sim {
+
+enum class TraceEventType {
+  kVmCreated,
+  kVmRemoved,
+  kSchedContention,   ///< guest pool could not satisfy demand
+  kDiskThrottled,
+  kNicThrottled,
+  kMigrationStarted,
+  kMigrationFinished,
+  kMigrationFailed,
+};
+
+[[nodiscard]] std::string trace_event_name(TraceEventType type);
+
+struct TraceEvent {
+  util::SimMicros time = 0;
+  TraceEventType type = TraceEventType::kVmCreated;
+  int pm_id = -1;
+  std::string subject;  ///< VM name or empty
+  double value = 0.0;   ///< event-specific magnitude (unmet %, kbits...)
+};
+
+/// Fixed-capacity ring buffer of events.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 4096);
+
+  void record(TraceEvent event);
+
+  /// Events currently retained, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Retained events matching a type, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events_of(TraceEventType type) const;
+  /// Total events ever recorded (including overwritten ones).
+  [[nodiscard]] std::size_t total_recorded() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool overflowed() const noexcept {
+    return total_ > capacity_;
+  }
+  void clear() noexcept;
+
+  /// Render as "t=12.34s pm0 sched-contention vm1 7.5" lines.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace voprof::sim

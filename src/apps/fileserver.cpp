@@ -1,0 +1,88 @@
+#include "voprof/apps/fileserver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::apps {
+
+// --------------------------------------------------------- server tier
+FileServerTier::FileServerTier(FileServerCosts costs, sim::NetTarget client,
+                               std::uint64_t seed)
+    : costs_(costs), client_(std::move(client)), rng_(seed) {
+  VOPROF_REQUIRE(costs_.server_cpu_ms_per_req > 0.0);
+  VOPROF_REQUIRE(costs_.cache_miss_rate >= 0.0 &&
+                 costs_.cache_miss_rate <= 1.0);
+  VOPROF_REQUIRE(costs_.file_blocks >= 0.0);
+}
+
+sim::ProcessDemand FileServerTier::demand(util::SimMicros /*now*/,
+                                          double dt) {
+  sim::ProcessDemand d;
+  const double max_rate = 1000.0 / costs_.server_cpu_ms_per_req;
+  wanted_rate_ = std::min(queue_ / dt, max_rate);
+  d.cpu_pct = 0.3 + wanted_rate_ * costs_.server_cpu_ms_per_req / 10.0;
+  d.mem_mib = 120.0;  // page cache + daemon
+  // Disk reads for the cache-missing share of the requests.
+  d.io_blocks =
+      wanted_rate_ * costs_.cache_miss_rate * costs_.file_blocks * dt;
+  const double responses = wanted_rate_ * dt;
+  if (responses > 0.0) {
+    d.flows.push_back(sim::NetFlow{responses * costs_.response_kbits,
+                                   client_, kTagFileData});
+  }
+  return d;
+}
+
+void FileServerTier::granted(double cpu_frac, util::SimMicros /*now*/,
+                             double dt) {
+  const double processed = wanted_rate_ * dt * cpu_frac;
+  queue_ = std::max(0.0, queue_ - processed);
+  served_ += processed;
+}
+
+void FileServerTier::on_receive(double kbits, int tag,
+                                util::SimMicros /*now*/) {
+  if (tag == kTagFileRequest) {
+    queue_ += kbits / costs_.request_kbits;
+  }
+}
+
+// -------------------------------------------------------------- client
+FileClient::FileClient(FileServerCosts costs, sim::NetTarget server,
+                       int clients, std::uint64_t seed)
+    : costs_(costs), server_(std::move(server)), rng_(seed),
+      clients_(clients), thinking_(static_cast<double>(clients)) {
+  VOPROF_REQUIRE(clients >= 0);
+  VOPROF_REQUIRE(costs_.think_time_s > 0.0);
+}
+
+sim::ProcessDemand FileClient::demand(util::SimMicros /*now*/, double dt) {
+  sim::ProcessDemand d;
+  send_rate_ = std::max(
+      0.0, thinking_ / costs_.think_time_s * (1.0 + 0.05 * rng_.gaussian()));
+  d.cpu_pct = 0.2 + send_rate_ * 0.02;
+  d.mem_mib = 30.0;
+  const double sent = send_rate_ * dt;
+  if (sent > 0.0) {
+    d.flows.push_back(sim::NetFlow{sent * costs_.request_kbits, server_,
+                                   kTagFileRequest});
+  }
+  return d;
+}
+
+void FileClient::granted(double cpu_frac, util::SimMicros /*now*/,
+                         double dt) {
+  const double sent = send_rate_ * dt * cpu_frac;
+  thinking_ = std::max(0.0, thinking_ - sent);
+}
+
+void FileClient::on_receive(double kbits, int tag, util::SimMicros /*now*/) {
+  if (tag != kTagFileData) return;
+  const double n = kbits / costs_.response_kbits;
+  thinking_ += n;
+  completed_ += n;
+}
+
+}  // namespace voprof::apps

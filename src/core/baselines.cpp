@@ -1,0 +1,48 @@
+#include "voprof/core/baselines.hpp"
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::model {
+
+UtilVec NaiveSumModel::predict(const UtilVec& vm_sum, int n_vms) const {
+  VOPROF_REQUIRE(n_vms >= 1);
+  return vm_sum;  // the whole point: no overhead whatsoever
+}
+
+Dom0IoModel Dom0IoModel::fit(const TrainingSet& data, RegressionMethod method,
+                             std::uint64_t seed) {
+  VOPROF_REQUIRE_MSG(data.size() >= 8,
+                     "too few observations for the Dom0-I/O baseline");
+  // Design restricted to [Mi, Mn] — the features of [14].
+  util::Matrix x(data.size(), 2);
+  std::vector<double> y(data.size());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    x(r, 0) = data.rows()[r].vm_sum.io;
+    x(r, 1) = data.rows()[r].vm_sum.bw;
+    y[r] = data.rows()[r].dom0_cpu;
+  }
+  Dom0IoModel m;
+  m.dom0_fit_ = model::fit(method, x, y, seed);
+  m.trained_ = true;
+  return m;
+}
+
+double Dom0IoModel::predict_dom0_cpu(const UtilVec& vm_sum) const {
+  VOPROF_REQUIRE_MSG(trained_, "Dom0IoModel used before fitting");
+  const std::array<double, 2> x = {vm_sum.io, vm_sum.bw};
+  return dom0_fit_.predict(x);
+}
+
+double Dom0IoModel::predict_pm_cpu(const UtilVec& vm_sum, int n_vms) const {
+  VOPROF_REQUIRE(n_vms >= 1);
+  // [14] treats Dom0 as the whole virtualization overhead: no
+  // hypervisor term.
+  return vm_sum.cpu + predict_dom0_cpu(vm_sum);
+}
+
+const LinearFit& Dom0IoModel::dom0_fit() const {
+  VOPROF_REQUIRE(trained_);
+  return dom0_fit_;
+}
+
+}  // namespace voprof::model

@@ -1,0 +1,58 @@
+#include "voprof/core/predictor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::model {
+
+Predictor::Predictor(MultiVmModel model, bool indirect_cpu)
+    : model_(std::move(model)), indirect_cpu_(indirect_cpu) {
+  VOPROF_REQUIRE_MSG(model_.trained(), "Predictor needs a trained model");
+}
+
+PredictionEval Predictor::evaluate(const mon::MeasurementReport& report,
+                                   const std::vector<std::string>& vm_names,
+                                   double min_denominator) const {
+  VOPROF_REQUIRE(!vm_names.empty());
+  PredictionEval eval;
+  const std::size_t n_samples = report.sample_count();
+  const mon::SeriesSet& pm = report.series(mon::MeasurementReport::kPmKey);
+
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    UtilVec vm_sum;
+    util::SimMicros t = 0;
+    for (const auto& name : vm_names) {
+      const mon::SeriesSet& s = report.series(name);
+      VOPROF_REQUIRE(s.cpu.size() == n_samples);
+      t = s.cpu[i].time;
+      vm_sum += UtilVec{s.cpu[i].value, s.mem[i].value, s.io[i].value,
+                        s.bw[i].value};
+    }
+    const int n_vms = static_cast<int>(vm_names.size());
+    UtilVec predicted = model_.predict(vm_sum, n_vms);
+    if (indirect_cpu_) {
+      predicted.cpu = model_.predict_pm_cpu_indirect(vm_sum, n_vms);
+    }
+    const UtilVec measured{pm.cpu[i].value, pm.mem[i].value, pm.io[i].value,
+                           pm.bw[i].value};
+    const auto pa = predicted.to_array();
+    const auto ma = measured.to_array();
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      MetricEval& me = eval.metrics[m];
+      me.predicted.add(t, pa[m]);
+      me.measured.add(t, ma[m]);
+      if (std::abs(ma[m]) > min_denominator) {
+        me.errors_pct.push_back(std::abs(pa[m] - ma[m]) / std::abs(ma[m]) *
+                                100.0);
+      }
+    }
+  }
+  for (auto& me : eval.metrics) {
+    me.error_cdf = util::Cdf(me.errors_pct);
+  }
+  return eval;
+}
+
+}  // namespace voprof::model

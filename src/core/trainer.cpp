@@ -1,0 +1,105 @@
+#include "voprof/core/trainer.hpp"
+
+#include <string>
+#include <utility>
+
+#include "voprof/monitor/script.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/xensim/cluster.hpp"
+#include "voprof/xensim/engine.hpp"
+
+namespace voprof::model {
+
+namespace {
+
+/// Zip the per-second samples of a finished measurement into
+/// (VM-sum, PM) observation rows.
+TrainingSet rows_from_report(const mon::MeasurementReport& report,
+                             const std::vector<std::string>& vm_names) {
+  TrainingSet out;
+  const std::size_t n_samples = report.sample_count();
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    TrainingRow row;
+    row.n_vms = static_cast<int>(vm_names.size());
+    for (const auto& name : vm_names) {
+      const mon::SeriesSet& s = report.series(name);
+      VOPROF_REQUIRE(s.cpu.size() == n_samples);
+      row.vm_sum += UtilVec{s.cpu[i].value, s.mem[i].value, s.io[i].value,
+                            s.bw[i].value};
+    }
+    const mon::SeriesSet& pm = report.series(mon::MeasurementReport::kPmKey);
+    row.pm = UtilVec{pm.cpu[i].value, pm.mem[i].value, pm.io[i].value,
+                     pm.bw[i].value};
+    row.dom0_cpu =
+        report.series(mon::MeasurementReport::kDom0Key).cpu[i].value;
+    row.hyp_cpu = report.series(mon::MeasurementReport::kHypKey).cpu[i].value;
+    out.add(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Trainer::Trainer(TrainerConfig config) : config_(std::move(config)) {
+  VOPROF_REQUIRE(!config_.vm_counts.empty());
+  VOPROF_REQUIRE(!config_.kinds.empty());
+  VOPROF_REQUIRE(config_.duration > 0);
+}
+
+TrainingSet Trainer::collect_run(wl::WorkloadKind kind, std::size_t level,
+                                 int n_vms) const {
+  VOPROF_REQUIRE(n_vms >= 1);
+  // A fresh testbed per cell, like the paper's repeated experiments.
+  // Seeds are derived from the cell coordinates for reproducibility.
+  const std::uint64_t cell_seed =
+      config_.seed ^ (static_cast<std::uint64_t>(kind) << 8) ^
+      (static_cast<std::uint64_t>(level) << 16) ^
+      (static_cast<std::uint64_t>(n_vms) << 24);
+
+  sim::Engine engine;
+  sim::Cluster cluster(engine, config_.costs, cell_seed);
+  sim::PhysicalMachine& pm = cluster.add_machine(config_.machine);
+
+  std::vector<std::string> vm_names;
+  for (int k = 0; k < n_vms; ++k) {
+    sim::VmSpec spec = config_.vm;
+    spec.name = "vm" + std::to_string(k + 1);
+    sim::DomU& vm = pm.add_vm(spec);
+    // BW workloads target VMs in other PMs (Sec. IV-B); an external
+    // sink exercises the same sender-side paths.
+    vm.attach(wl::make_workload(kind, level, sim::NetTarget{},
+                                cell_seed + static_cast<std::uint64_t>(k)));
+    vm_names.push_back(spec.name);
+  }
+
+  mon::MonitorScript monitor(engine, pm);
+  const mon::MeasurementReport& report = monitor.measure(config_.duration);
+  return rows_from_report(report, vm_names);
+}
+
+TrainingSet Trainer::collect() const {
+  TrainingSet all;
+  for (int n : config_.vm_counts) {
+    for (wl::WorkloadKind kind : config_.kinds) {
+      for (std::size_t level = 0; level < wl::kLevelCount; ++level) {
+        all.append(collect_run(kind, level, n));
+      }
+    }
+  }
+  return all;
+}
+
+TrainedModels Trainer::train(RegressionMethod method) const {
+  return fit_models(collect(), method, config_.seed);
+}
+
+TrainedModels Trainer::fit_models(TrainingSet data, RegressionMethod method,
+                                  std::uint64_t seed) {
+  TrainedModels out;
+  out.single = SingleVmModel::fit(data.with_vm_count(1), method, seed);
+  out.multi = MultiVmModel::fit(data, method, seed);
+  out.data = std::move(data);
+  return out;
+}
+
+}  // namespace voprof::model

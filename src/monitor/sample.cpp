@@ -1,0 +1,30 @@
+#include "voprof/monitor/sample.hpp"
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::mon {
+
+UtilSample domain_util(const sim::DomainCounters& prev,
+                       const sim::DomainCounters& cur, double interval_s) {
+  VOPROF_REQUIRE(interval_s > 0.0);
+  UtilSample s;
+  s.cpu_pct = (cur.cpu_core_seconds - prev.cpu_core_seconds) / interval_s *
+              100.0;
+  s.mem_mib = cur.mem_mib;  // gauge: current value
+  s.io_blocks_per_s = (cur.io_blocks - prev.io_blocks) / interval_s;
+  s.bw_kbps =
+      ((cur.tx_kbits - prev.tx_kbits) + (cur.rx_kbits - prev.rx_kbits)) /
+      interval_s;
+  return s;
+}
+
+DeviceUtil device_util(const sim::DeviceCounters& prev,
+                       const sim::DeviceCounters& cur, double interval_s) {
+  VOPROF_REQUIRE(interval_s > 0.0);
+  DeviceUtil d;
+  d.disk_blocks_per_s = (cur.disk_blocks - prev.disk_blocks) / interval_s;
+  d.nic_kbps = (cur.nic_kbits - prev.nic_kbits) / interval_s;
+  return d;
+}
+
+}  // namespace voprof::mon

@@ -1,0 +1,255 @@
+#include "voprof/monitor/script.hpp"
+
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::mon {
+
+// ------------------------------------------------------------- report
+bool MeasurementReport::has(const std::string& key) const noexcept {
+  return entities_.find(key) != entities_.end();
+}
+
+const SeriesSet& MeasurementReport::series(const std::string& key) const {
+  const auto it = entities_.find(key);
+  VOPROF_REQUIRE_MSG(it != entities_.end(), "no such entity in report: " + key);
+  return it->second;
+}
+
+SeriesSet& MeasurementReport::series_mutable(const std::string& key) {
+  return entities_[key];
+}
+
+UtilSample MeasurementReport::mean(const std::string& key) const {
+  return series(key).mean();
+}
+
+UtilSample MeasurementReport::percentile(const std::string& key,
+                                         double q) const {
+  const SeriesSet& s = series(key);
+  VOPROF_REQUIRE_MSG(!s.cpu.empty(), "no samples recorded for " + key);
+  UtilSample out;
+  out.cpu_pct = util::percentile(s.cpu.values(), q);
+  out.mem_mib = util::percentile(s.mem.values(), q);
+  out.io_blocks_per_s = util::percentile(s.io.values(), q);
+  out.bw_kbps = util::percentile(s.bw.values(), q);
+  return out;
+}
+
+std::vector<std::string> MeasurementReport::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entities_.size());
+  for (const auto& [k, v] : entities_) out.push_back(k);
+  return out;
+}
+
+std::size_t MeasurementReport::sample_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [k, v] : entities_) n = std::max(n, v.cpu.size());
+  return n;
+}
+
+util::CsvDocument report_to_csv(const MeasurementReport& report) {
+  const std::vector<std::string> keys = report.keys();
+  VOPROF_REQUIRE_MSG(!keys.empty(), "cannot export an empty report");
+  std::vector<std::string> header = {"t_s"};
+  for (const auto& k : keys) {
+    for (const char* metric : {"cpu", "mem", "io", "bw"}) {
+      header.push_back(k + "_" + metric);
+    }
+  }
+  util::CsvDocument csv(header);
+  const std::size_t n = report.sample_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row;
+    row.reserve(header.size());
+    bool first = true;
+    for (const auto& k : keys) {
+      const SeriesSet& s = report.series(k);
+      VOPROF_REQUIRE_MSG(s.cpu.size() == n,
+                         "ragged report series for entity: " + k);
+      if (first) {
+        row.push_back(util::to_seconds(s.cpu[i].time));
+        first = false;
+      }
+      row.push_back(s.cpu[i].value);
+      row.push_back(s.mem[i].value);
+      row.push_back(s.io[i].value);
+      row.push_back(s.bw[i].value);
+    }
+    csv.add_row(std::move(row));
+  }
+  return csv;
+}
+
+// -------------------------------------------------------- guest agent
+/// The in-VM measurement agent (top + vmstat instance the paper's
+/// script starts inside every guest). Pure CPU self-overhead.
+class MonitorScript::GuestAgent final : public sim::GuestProcess {
+ public:
+  GuestAgent(sim::DomU& vm, double cpu_pct) : vm_(vm), cpu_pct_(cpu_pct) {
+    vm_.attach_shared(this);
+  }
+  ~GuestAgent() override { vm_.detach_shared(this); }
+
+  GuestAgent(const GuestAgent&) = delete;
+  GuestAgent& operator=(const GuestAgent&) = delete;
+
+  [[nodiscard]] sim::ProcessDemand demand(util::SimMicros /*now*/,
+                                          double /*dt*/) override {
+    sim::ProcessDemand d;
+    d.cpu_pct = cpu_pct_;
+    return d;
+  }
+  [[nodiscard]] std::string label() const override { return "monitor-agent"; }
+
+  [[nodiscard]] double cpu_pct() const noexcept { return cpu_pct_; }
+
+ private:
+  sim::DomU& vm_;
+  double cpu_pct_;
+};
+
+// ------------------------------------------------------------- script
+MonitorScript::MonitorScript(sim::Engine& engine,
+                             sim::PhysicalMachine& machine,
+                             MonitorConfig config)
+    : engine_(engine), machine_(machine), config_(config) {
+  VOPROF_REQUIRE(config_.interval > 0);
+  tools_.push_back(std::make_unique<XenTop>());
+  tools_.push_back(std::make_unique<TopTool>());
+  tools_.push_back(std::make_unique<MpStat>());
+  tools_.push_back(std::make_unique<IfConfig>());
+  tools_.push_back(std::make_unique<VmStat>());
+}
+
+MonitorScript::~MonitorScript() {
+  stop();
+  *alive_ = false;
+}
+
+double MonitorScript::dom0_overhead_pct() const noexcept {
+  double s = 0.0;
+  for (const auto& t : tools_) {
+    if (t->info().host == ToolHost::kDom0) s += t->info().self_cpu_pct;
+  }
+  return s;
+}
+
+double MonitorScript::guest_overhead_pct() const noexcept {
+  double s = 0.0;
+  for (const auto& t : tools_) {
+    if (t->info().host == ToolHost::kGuest) s += t->info().self_cpu_pct;
+  }
+  return s;
+}
+
+void MonitorScript::start() {
+  VOPROF_REQUIRE_MSG(!started_once_, "MonitorScript::start may run once");
+  started_once_ = true;
+  running_ = true;
+
+  if (config_.inject_overhead) {
+    dom0_overhead_id_ =
+        machine_.dom0().add_background_cpu(dom0_overhead_pct());
+    const double per_guest = guest_overhead_pct();
+    for (sim::DomU* vm : machine_.vms()) {
+      agents_.push_back(std::make_unique<GuestAgent>(*vm, per_guest));
+    }
+  }
+
+  prev_ = machine_.snapshot(engine_.now());
+  schedule_next();
+}
+
+void MonitorScript::schedule_next() {
+  // Self-rearming one-shot chain (a schedule_every would keep firing
+  // after stop()). The alive flag guards against the script being
+  // destroyed while an event is still queued in the engine.
+  std::shared_ptr<bool> alive = alive_;
+  engine_.schedule_after(config_.interval, [this, alive]() {
+    if (!*alive || !running_) return;
+    take_sample();
+    schedule_next();
+  });
+}
+
+void MonitorScript::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (dom0_overhead_id_ >= 0) {
+    machine_.dom0().remove_background_cpu(dom0_overhead_id_);
+    dom0_overhead_id_ = -1;
+  }
+  agents_.clear();  // destructors detach from the VMs
+}
+
+const MeasurementReport& MonitorScript::measure(util::SimMicros duration) {
+  start();
+  engine_.run_for(duration);
+  stop();
+  return report_;
+}
+
+void MonitorScript::take_sample() {
+  const sim::MachineSnapshot cur = machine_.snapshot(engine_.now());
+  if (cur.time <= prev_.time) return;  // same-instant double fire: skip
+  // Mid-run VM creation/removal would desynchronize the snapshot pair;
+  // resynchronize and sample from the next interval on.
+  if (cur.guests.size() != prev_.guests.size()) {
+    prev_ = cur;
+    return;
+  }
+
+  const XenTop xentop;
+  const TopTool top;
+  const MpStat mpstat;
+  const IfConfig ifconfig;
+  const VmStat vmstat;
+
+  const util::SimMicros t = cur.time;
+  double vm_mem_total = 0.0;
+
+  for (const auto& g : cur.guests) {
+    SeriesSet& s = report_.series_mutable(g.name);
+    // Per Sec. III-A: xentop supplies VM CPU/IO/BW from Dom0; top runs
+    // inside the guest for memory.
+    s.cpu.add(t, xentop.read_vm(prev_, cur, g.name, Metric::kCpu).value());
+    s.io.add(t, xentop.read_vm(prev_, cur, g.name, Metric::kIo).value());
+    s.bw.add(t, xentop.read_vm(prev_, cur, g.name, Metric::kBw).value());
+    const double mem = top.read_vm(prev_, cur, g.name, Metric::kMem).value();
+    s.mem.add(t, mem);
+    vm_mem_total += mem;
+  }
+
+  {
+    SeriesSet& s = report_.series_mutable(MeasurementReport::kDom0Key);
+    s.cpu.add(t, xentop.read_dom0(prev_, cur, Metric::kCpu).value());
+    s.io.add(t, xentop.read_dom0(prev_, cur, Metric::kIo).value());
+    s.bw.add(t, xentop.read_dom0(prev_, cur, Metric::kBw).value());
+    s.mem.add(t, top.read_dom0(prev_, cur, Metric::kMem).value());
+  }
+
+  {
+    SeriesSet& s = report_.series_mutable(MeasurementReport::kHypKey);
+    s.cpu.add(t, mpstat.read_pm(prev_, cur, Metric::kCpu).value());
+    s.mem.add(t, 0.0);
+    s.io.add(t, 0.0);
+    s.bw.add(t, 0.0);
+  }
+
+  {
+    SeriesSet& s = report_.series_mutable(MeasurementReport::kPmKey);
+    s.cpu.add(t, vmstat.read_pm(prev_, cur, Metric::kCpu).value());
+    s.io.add(t, vmstat.read_pm(prev_, cur, Metric::kIo).value());
+    s.bw.add(t, ifconfig.read_pm(prev_, cur, Metric::kBw).value());
+    // No tool measures PM memory (Table I); the paper estimates it as
+    // Dom0 + sum of guests.
+    s.mem.add(t, cur.dom0.counters.mem_mib + vm_mem_total);
+  }
+
+  prev_ = cur;
+}
+
+}  // namespace voprof::mon

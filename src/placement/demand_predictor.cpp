@@ -1,0 +1,55 @@
+#include "voprof/placement/demand_predictor.hpp"
+
+#include <algorithm>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/util/stats.hpp"
+
+namespace voprof::place {
+
+DemandPredictor::DemandPredictor(DemandPredictorConfig config)
+    : config_(config) {
+  VOPROF_REQUIRE(config_.window > 0);
+  VOPROF_REQUIRE(config_.padding >= 0.0);
+  VOPROF_REQUIRE(config_.base_percentile > 0.0 &&
+                 config_.base_percentile <= 100.0);
+}
+
+double DemandPredictor::predict_metric(
+    std::vector<double> window_values) const {
+  VOPROF_REQUIRE(!window_values.empty());
+  const double base =
+      util::percentile(window_values, config_.base_percentile);
+  return base * (1.0 + config_.padding);
+}
+
+model::UtilVec DemandPredictor::predict(
+    const std::vector<model::UtilVec>& trace) const {
+  VOPROF_REQUIRE_MSG(!trace.empty(), "demand prediction needs samples");
+  const std::size_t start =
+      trace.size() > config_.window ? trace.size() - config_.window : 0;
+  std::vector<double> cpu, mem, io, bw;
+  for (std::size_t i = start; i < trace.size(); ++i) {
+    cpu.push_back(trace[i].cpu);
+    mem.push_back(trace[i].mem);
+    io.push_back(trace[i].io);
+    bw.push_back(trace[i].bw);
+  }
+  return model::UtilVec{predict_metric(std::move(cpu)),
+                        predict_metric(std::move(mem)),
+                        predict_metric(std::move(io)),
+                        predict_metric(std::move(bw))};
+}
+
+model::UtilVec DemandPredictor::predict_series(const mon::SeriesSet& s) const {
+  VOPROF_REQUIRE(!s.cpu.empty());
+  std::vector<model::UtilVec> trace;
+  trace.reserve(s.cpu.size());
+  for (std::size_t i = 0; i < s.cpu.size(); ++i) {
+    trace.push_back(model::UtilVec{s.cpu[i].value, s.mem[i].value,
+                                   s.io[i].value, s.bw[i].value});
+  }
+  return predict(trace);
+}
+
+}  // namespace voprof::place

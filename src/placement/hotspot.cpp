@@ -1,0 +1,232 @@
+#include "voprof/placement/hotspot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "voprof/monitor/sample.hpp"
+#include "voprof/util/assert.hpp"
+
+namespace voprof::place {
+
+HotspotController::HotspotController(sim::Cluster& cluster,
+                                     const model::MultiVmModel* overhead_model,
+                                     std::vector<int> host_pm_ids,
+                                     HotspotConfig config)
+    : cluster_(cluster),
+      model_(overhead_model),
+      host_pm_ids_(std::move(host_pm_ids)),
+      config_(config) {
+  VOPROF_REQUIRE_MSG(!host_pm_ids_.empty(),
+                     "hotspot controller needs at least one managed PM");
+  if (config_.overhead_aware) {
+    VOPROF_REQUIRE_MSG(model_ != nullptr && model_->trained(),
+                       "overhead-aware mitigation needs a trained model");
+  }
+  VOPROF_REQUIRE(config_.check_interval > 0);
+  for (int id : host_pm_ids_) {
+    VOPROF_REQUIRE_MSG(cluster_.machine_by_id(id) != nullptr,
+                       "unknown PM id under hotspot management");
+  }
+}
+
+HotspotController::~HotspotController() {
+  stop();
+  *alive_ = false;
+}
+
+void HotspotController::start() {
+  VOPROF_REQUIRE_MSG(!running_, "hotspot controller already running");
+  running_ = true;
+  // Prime the per-PM windows so the first check has a full interval.
+  for (int id : host_pm_ids_) {
+    PmWindow& w = windows_[id];
+    w.prev = cluster_.machine_by_id(id)->snapshot(cluster_.engine().now());
+    w.primed = true;
+  }
+  schedule_next();
+}
+
+void HotspotController::stop() { running_ = false; }
+
+void HotspotController::schedule_next() {
+  std::shared_ptr<bool> alive = alive_;
+  cluster_.engine().schedule_after(config_.check_interval, [this, alive]() {
+    if (!*alive || !running_) return;
+    check_now();
+    schedule_next();
+  });
+}
+
+std::vector<std::pair<std::string, model::UtilVec>>
+HotspotController::vm_utils_since_last(sim::PhysicalMachine& pm,
+                                       PmWindow& window) const {
+  const sim::MachineSnapshot cur =
+      pm.snapshot(cluster_.engine().now());
+  std::vector<std::pair<std::string, model::UtilVec>> out;
+  if (window.primed && cur.time > window.prev.time) {
+    const double interval = util::to_seconds(cur.time - window.prev.time);
+    for (const auto& g : cur.guests) {
+      // A VM may have arrived mid-window (migration); skip it until the
+      // next full window.
+      const sim::DomainSnapshot* prev_guest = nullptr;
+      for (const auto& pg : window.prev.guests) {
+        if (pg.name == g.name) {
+          prev_guest = &pg;
+          break;
+        }
+      }
+      if (prev_guest == nullptr) continue;
+      const mon::UtilSample u =
+          mon::domain_util(prev_guest->counters, g.counters, interval);
+      out.emplace_back(g.name, model::UtilVec::from_sample(u));
+    }
+  }
+  window.prev = cur;
+  window.primed = true;
+  return out;
+}
+
+void HotspotController::check_now() {
+  std::vector<PmView> views;
+  for (int id : host_pm_ids_) {
+    sim::PhysicalMachine* pm = cluster_.machine_by_id(id);
+    if (pm == nullptr) continue;
+    PmView v;
+    v.id = id;
+    v.vms = vm_utils_since_last(*pm, windows_[id]);
+    model::UtilVec sum;
+    for (const auto& [name, u] : v.vms) sum += u;
+    const int n = static_cast<int>(v.vms.size());
+    if (n > 0) {
+      v.predicted_cpu = config_.overhead_aware
+                            ? model_->predict_pm_cpu_indirect(sum, n)
+                            : sum.cpu;
+    }
+    windows_[id].last_predicted_cpu = v.predicted_cpu;
+    views.push_back(std::move(v));
+  }
+  if (views.size() < 2) return;  // nowhere to migrate to
+
+  // Hottest PM first.
+  std::sort(views.begin(), views.end(), [](const PmView& a, const PmView& b) {
+    return a.predicted_cpu > b.predicted_cpu;
+  });
+  const PmView& hot = views.front();
+  if (hot.predicted_cpu <= config_.cpu_threshold_pct) {
+    if (config_.consolidate &&
+        hot.predicted_cpu < config_.consolidate_below_pct) {
+      try_consolidate(views);
+    }
+    return;
+  }
+  const PmView& cold = views.back();
+  if (cold.id == hot.id) return;
+
+  // Pick the heaviest migratable VM by Sandpiper-style volume (CPU
+  // plus the Dom0-CPU-equivalent of its bandwidth) — but only if the
+  // destination stays below the threshold after receiving it, so the
+  // controller cannot ping-pong a hot VM between two machines.
+  model::UtilVec cold_sum;
+  for (const auto& [name, u] : cold.vms) cold_sum += u;
+  const util::SimMicros now = cluster_.engine().now();
+  const std::string* best = nullptr;
+  double best_volume = -1.0;
+  for (const auto& [name, u] : hot.vms) {
+    const auto moved_it = last_moved_.find(name);
+    if (moved_it != last_moved_.end() &&
+        now - moved_it->second < config_.cooldown) {
+      continue;
+    }
+    const int cold_n = static_cast<int>(cold.vms.size()) + 1;
+    const double dest_after =
+        config_.overhead_aware
+            ? model_->predict_pm_cpu_indirect(cold_sum + u, cold_n)
+            : (cold_sum + u).cpu;
+    if (dest_after >= config_.cpu_threshold_pct) continue;
+    const double volume = u.cpu + 0.0105 * u.bw;
+    if (volume > best_volume) {
+      best_volume = volume;
+      best = &name;
+    }
+  }
+  if (best == nullptr) return;
+
+  HotspotAction action;
+  action.time = now;
+  action.vm_name = *best;
+  action.from_pm = hot.id;
+  action.to_pm = cold.id;
+  action.predicted_cpu = hot.predicted_cpu;
+  cluster_.migration().start(*best, hot.id, cold.id, config_.migration);
+  last_moved_[*best] = now;
+  actions_.push_back(std::move(action));
+}
+
+void HotspotController::try_consolidate(const std::vector<PmView>& views) {
+  // Donor = the least-loaded PM that still hosts VMs; its guests move
+  // to the most-loaded PM that can absorb them under the hotspot
+  // threshold. One VM per check keeps the fleet stable.
+  const PmView* donor = nullptr;
+  for (auto it = views.rbegin(); it != views.rend(); ++it) {
+    if (!it->vms.empty()) {
+      donor = &*it;
+      break;
+    }
+  }
+  if (donor == nullptr) return;
+
+  const util::SimMicros now = cluster_.engine().now();
+  for (const PmView& target : views) {  // hottest (fullest) first
+    if (target.id == donor->id) continue;
+    // Anti-churn: only pack into hosts at least as full as the donor,
+    // so consolidation converges instead of shuffling VMs sideways.
+    if (target.vms.size() < donor->vms.size()) continue;
+    // Pick the donor's lightest VM that fits under the threshold.
+    const std::string* best = nullptr;
+    double best_volume = std::numeric_limits<double>::infinity();
+    model::UtilVec target_sum;
+    for (const auto& [name, u] : target.vms) target_sum += u;
+    for (const auto& [name, u] : donor->vms) {
+      const auto moved_it = last_moved_.find(name);
+      // Consolidation is a luxury action: damp it with a doubled
+      // cooldown so a VM never ping-pongs between quiet hosts.
+      if (moved_it != last_moved_.end() &&
+          now - moved_it->second < 2 * config_.cooldown) {
+        continue;
+      }
+      const int n_after = static_cast<int>(target.vms.size()) + 1;
+      const double dest_after =
+          config_.overhead_aware
+              ? model_->predict_pm_cpu_indirect(target_sum + u, n_after)
+              : (target_sum + u).cpu;
+      if (dest_after >= config_.cpu_threshold_pct) continue;
+      const double volume = u.cpu + 0.0105 * u.bw;
+      if (volume < best_volume) {
+        best_volume = volume;
+        best = &name;
+      }
+    }
+    if (best == nullptr) continue;
+
+    HotspotAction action;
+    action.time = now;
+    action.kind = HotspotAction::Kind::kConsolidation;
+    action.vm_name = *best;
+    action.from_pm = donor->id;
+    action.to_pm = target.id;
+    action.predicted_cpu = donor->predicted_cpu;
+    cluster_.migration().start(*best, donor->id, target.id,
+                               config_.migration);
+    last_moved_[*best] = now;
+    actions_.push_back(std::move(action));
+    return;
+  }
+}
+
+double HotspotController::last_predicted_cpu(int pm_id) const {
+  const auto it = windows_.find(pm_id);
+  return it != windows_.end() ? it->second.last_predicted_cpu : 0.0;
+}
+
+}  // namespace voprof::place

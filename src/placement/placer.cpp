@@ -1,0 +1,94 @@
+#include "voprof/placement/placer.hpp"
+
+#include <limits>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::place {
+
+model::UtilVec PmState::demand_sum() const noexcept {
+  model::UtilVec s;
+  for (const auto& d : vm_demands) s += d;
+  return s;
+}
+
+double PmState::mem_reserved_mib() const noexcept {
+  // Dom0 resident memory counts against the host (this is what the
+  // paper's VOU observed too: its memory check tripped on the 5th VM).
+  double m = spec.dom0_mem_mib;
+  for (double v : vm_mem_mib) m += v;
+  return m;
+}
+
+Placer::Placer(PlacerConfig config, const model::MultiVmModel* overhead_model)
+    : config_(config), model_(overhead_model) {
+  if (config_.overhead_aware) {
+    VOPROF_REQUIRE_MSG(model_ != nullptr && model_->trained(),
+                       "VOA placement needs a trained overhead model");
+  }
+}
+
+bool Placer::fits(const PmState& pm, const model::UtilVec& demand,
+                  double vm_mem_mib) const {
+  // Memory feasibility: identical for both modes (reservation-based,
+  // Dom0 included, headroom from MachineSpec::usable_mem_frac).
+  if (pm.mem_reserved_mib() + vm_mem_mib > pm.spec.usable_mem_mib()) {
+    return false;
+  }
+  const model::UtilVec sum = pm.demand_sum() + demand;
+  if (config_.overhead_aware) {
+    // VOA: Eq. (3) predicts the *PM* utilization including Dom0 and
+    // hypervisor overhead; compare against the real ceilings.
+    const model::UtilVec predicted =
+        model_->predict(sum, pm.vm_count() + 1);
+    if (predicted.cpu > config_.voa_cpu_capacity_pct) return false;
+    if (predicted.bw > config_.bw_capacity_frac * pm.spec.nic_kbps) {
+      return false;
+    }
+    return true;
+  }
+  // VOU: "the utilization of a particular resource in a PM equals the
+  // sum of the utilizations of this resource of its hosted VMs" -- the
+  // assumption the paper disproves.
+  if (sum.cpu > config_.vou_cpu_capacity_pct) return false;
+  if (sum.bw > config_.bw_capacity_frac * pm.spec.nic_kbps) return false;
+  return true;
+}
+
+std::optional<std::size_t> Placer::choose(const std::vector<PmState>& pms,
+                                          const model::UtilVec& demand,
+                                          double vm_mem_mib) const {
+  for (std::size_t i = 0; i < pms.size(); ++i) {
+    if (fits(pms[i], demand, vm_mem_mib)) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Placer::place(std::vector<PmState>& pms,
+                          const model::UtilVec& demand, double vm_mem_mib,
+                          bool* forced) const {
+  VOPROF_REQUIRE(!pms.empty());
+  std::size_t idx;
+  if (const auto chosen = choose(pms, demand, vm_mem_mib)) {
+    idx = *chosen;
+    if (forced != nullptr) *forced = false;
+  } else {
+    // Nothing admits the VM: fall back to the least CPU-loaded PM
+    // (the cloud must host it somewhere).
+    idx = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < pms.size(); ++i) {
+      const double load = pms[i].demand_sum().cpu;
+      if (load < best) {
+        best = load;
+        idx = i;
+      }
+    }
+    if (forced != nullptr) *forced = true;
+  }
+  pms[idx].vm_demands.push_back(demand);
+  pms[idx].vm_mem_mib.push_back(vm_mem_mib);
+  return idx;
+}
+
+}  // namespace voprof::place

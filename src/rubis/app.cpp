@@ -1,0 +1,162 @@
+#include "voprof/rubis/app.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::rubis {
+
+namespace {
+
+/// Largest request rate a single-threaded tier can serve on one VCPU.
+[[nodiscard]] double max_rate_per_vcpu(double cpu_ms_per_req) noexcept {
+  // rate * (ms/1000) * 100 <= 100 %  =>  rate <= 1000 / ms.
+  return 1000.0 / cpu_ms_per_req;
+}
+
+/// CPU percent for serving `rate` requests/s at `ms` per request.
+[[nodiscard]] double cpu_for_rate(double rate, double ms) noexcept {
+  return rate * ms / 10.0;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- WebTier
+WebTier::WebTier(RubisCosts costs, sim::NetTarget db, sim::NetTarget client,
+                 std::uint64_t seed)
+    : costs_(costs), db_(std::move(db)), client_(std::move(client)),
+      rng_(seed) {
+  VOPROF_REQUIRE(costs_.web_cpu_ms_per_req > 0.0);
+  VOPROF_REQUIRE(costs_.db_fraction >= 0.0 && costs_.db_fraction <= 1.0);
+}
+
+sim::ProcessDemand WebTier::demand(util::SimMicros /*now*/, double dt) {
+  sim::ProcessDemand d;
+  wanted_rate_ = std::min(queue_ / dt,
+                          max_rate_per_vcpu(costs_.web_cpu_ms_per_req));
+  drain_rate_ = db_done_ / dt;  // DB answers returned now
+
+  d.cpu_pct = 0.3 + cpu_for_rate(wanted_rate_, costs_.web_cpu_ms_per_req);
+  d.mem_mib = 60.0;  // Apache+PHP resident set
+
+  // Queries for the DB-bound share of the requests served this tick.
+  const double queries = wanted_rate_ * costs_.db_fraction * dt;
+  if (queries > 0.0) {
+    d.flows.push_back(
+        sim::NetFlow{queries * costs_.query_kbits, db_, kTagDbQuery});
+  }
+  // Responses: the directly-served share plus the drained DB answers.
+  const double responses =
+      wanted_rate_ * (1.0 - costs_.db_fraction) * dt + drain_rate_ * dt;
+  if (responses > 0.0) {
+    d.flows.push_back(sim::NetFlow{responses * costs_.response_kbits, client_,
+                                   kTagResponse});
+  }
+  return d;
+}
+
+void WebTier::granted(double cpu_frac, util::SimMicros /*now*/, double dt) {
+  // The machine scaled the emitted flows by cpu_frac; mirror that in
+  // the queue bookkeeping.
+  const double processed = wanted_rate_ * dt * cpu_frac;
+  const double drained = drain_rate_ * dt * cpu_frac;
+  queue_ = std::max(0.0, queue_ - processed);
+  awaiting_db_ += processed * costs_.db_fraction;
+  db_done_ = std::max(0.0, db_done_ - drained);
+  served_ += processed * (1.0 - costs_.db_fraction) + drained;
+}
+
+void WebTier::on_receive(double kbits, int tag, util::SimMicros /*now*/) {
+  if (tag == kTagRequest) {
+    queue_ += kbits / costs_.request_kbits;
+  } else if (tag == kTagDbResponse) {
+    const double answers = kbits / costs_.db_response_kbits;
+    awaiting_db_ = std::max(0.0, awaiting_db_ - answers);
+    db_done_ += answers;
+  }
+}
+
+// -------------------------------------------------------------- DbTier
+DbTier::DbTier(RubisCosts costs, sim::NetTarget web, std::uint64_t seed)
+    : costs_(costs), web_(std::move(web)), rng_(seed) {
+  VOPROF_REQUIRE(costs_.db_cpu_ms_per_query > 0.0);
+}
+
+sim::ProcessDemand DbTier::demand(util::SimMicros /*now*/, double dt) {
+  sim::ProcessDemand d;
+  wanted_rate_ = std::min(queue_ / dt,
+                          max_rate_per_vcpu(costs_.db_cpu_ms_per_query));
+  d.cpu_pct = 0.3 + cpu_for_rate(wanted_rate_, costs_.db_cpu_ms_per_query);
+  d.mem_mib = 90.0;  // MySQL resident set
+  d.io_blocks = wanted_rate_ * costs_.db_io_blocks_per_query * dt;
+  const double answers = wanted_rate_ * dt;
+  if (answers > 0.0) {
+    d.flows.push_back(sim::NetFlow{answers * costs_.db_response_kbits, web_,
+                                   kTagDbResponse});
+  }
+  return d;
+}
+
+void DbTier::granted(double cpu_frac, util::SimMicros /*now*/, double dt) {
+  const double processed = wanted_rate_ * dt * cpu_frac;
+  queue_ = std::max(0.0, queue_ - processed);
+  served_ += processed;
+}
+
+void DbTier::on_receive(double kbits, int tag, util::SimMicros /*now*/) {
+  if (tag == kTagDbQuery) {
+    queue_ += kbits / costs_.query_kbits;
+  }
+}
+
+// ------------------------------------------------------ ClientEmulator
+ClientEmulator::ClientEmulator(RubisCosts costs, sim::NetTarget web,
+                               int clients, std::uint64_t seed)
+    : costs_(costs), web_(std::move(web)), rng_(seed), clients_(clients),
+      thinking_(static_cast<double>(clients)) {
+  VOPROF_REQUIRE(clients >= 0);
+  VOPROF_REQUIRE(costs_.think_time_s > 0.0);
+}
+
+sim::ProcessDemand ClientEmulator::demand(util::SimMicros /*now*/,
+                                          double dt) {
+  sim::ProcessDemand d;
+  // Exponential think times: thinking clients fire at rate 1/Z each.
+  double send_rate = thinking_ / costs_.think_time_s;
+  send_rate = std::max(0.0, send_rate * (1.0 + 0.05 * rng_.gaussian()));
+  send_rate_ = send_rate;
+  d.cpu_pct = 0.2 + cpu_for_rate(send_rate, costs_.client_cpu_ms_per_req);
+  d.mem_mib = 40.0;
+  const double sent = send_rate * dt;
+  if (sent > 0.0) {
+    d.flows.push_back(
+        sim::NetFlow{sent * costs_.request_kbits, web_, kTagRequest});
+  }
+  return d;
+}
+
+void ClientEmulator::granted(double cpu_frac, util::SimMicros /*now*/,
+                             double dt) {
+  const double sent = send_rate_ * dt * cpu_frac;
+  thinking_ = std::max(0.0, thinking_ - sent);
+  in_flight_ += sent;
+}
+
+void ClientEmulator::on_receive(double kbits, int tag,
+                                util::SimMicros /*now*/) {
+  if (tag != kTagResponse) return;
+  const double n = kbits / costs_.response_kbits;
+  in_flight_ = std::max(0.0, in_flight_ - n);
+  thinking_ += n;
+  completed_ += n;
+}
+
+void ClientEmulator::set_clients(int clients) {
+  VOPROF_REQUIRE(clients >= 0);
+  const double delta = static_cast<double>(clients - clients_);
+  clients_ = clients;
+  thinking_ = std::max(0.0, thinking_ + delta);
+}
+
+}  // namespace voprof::rubis

@@ -1,0 +1,79 @@
+#include "voprof/rubis/deployment.hpp"
+
+#include <memory>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::rubis {
+
+RubisInstance wire_rubis(sim::Cluster& cluster, std::size_t pm_web,
+                         std::size_t pm_db, const std::string& web_vm,
+                         const std::string& db_vm, std::size_t pm_client,
+                         const DeployOptions& options) {
+  RubisInstance inst;
+  inst.web_vm = web_vm;
+  inst.db_vm = db_vm;
+  inst.client_vm = "client" + options.suffix;
+
+  sim::PhysicalMachine& web_pm = cluster.machine(pm_web);
+  sim::PhysicalMachine& db_pm = cluster.machine(pm_db);
+  sim::PhysicalMachine& client_pm = cluster.machine(pm_client);
+
+  sim::DomU* web = web_pm.find_vm(web_vm);
+  sim::DomU* db = db_pm.find_vm(db_vm);
+  VOPROF_REQUIRE_MSG(web != nullptr, "web VM not found: " + web_vm);
+  VOPROF_REQUIRE_MSG(db != nullptr, "db VM not found: " + db_vm);
+
+  sim::VmSpec client_spec = options.vm_spec;
+  client_spec.name = inst.client_vm;
+  sim::DomU& client = client_pm.add_vm(client_spec);
+
+  const sim::NetTarget web_addr{web_pm.id(), web_vm};
+  const sim::NetTarget db_addr{db_pm.id(), db_vm};
+  const sim::NetTarget client_addr{client_pm.id(), inst.client_vm};
+
+  auto web_proc = std::make_unique<WebTier>(options.costs, db_addr,
+                                            client_addr, options.seed + 1);
+  auto db_proc =
+      std::make_unique<DbTier>(options.costs, web_addr, options.seed + 2);
+  auto client_proc = std::make_unique<ClientEmulator>(
+      options.costs, web_addr, options.clients, options.seed + 3);
+
+  inst.web = web_proc.get();
+  inst.db = db_proc.get();
+  inst.client = client_proc.get();
+
+  web->attach(std::move(web_proc));
+  db->attach(std::move(db_proc));
+  client.attach(std::move(client_proc));
+  return inst;
+}
+
+void schedule_client_ramp(sim::Engine& engine, ClientEmulator& client,
+                          int from, int to, util::SimMicros duration,
+                          int steps) {
+  VOPROF_REQUIRE(steps >= 1);
+  VOPROF_REQUIRE(duration > 0);
+  VOPROF_REQUIRE(from >= 0 && to >= 0);
+  client.set_clients(from);
+  for (int s = 1; s <= steps; ++s) {
+    const int count = from + (to - from) * s / steps;
+    engine.schedule_after(duration * s / steps,
+                          [&client, count]() { client.set_clients(count); });
+  }
+}
+
+RubisInstance deploy_rubis(sim::Cluster& cluster, std::size_t pm_web,
+                           std::size_t pm_db, std::size_t pm_client,
+                           const DeployOptions& options) {
+  sim::VmSpec web_spec = options.vm_spec;
+  web_spec.name = "web" + options.suffix;
+  sim::VmSpec db_spec = options.vm_spec;
+  db_spec.name = "db" + options.suffix;
+  cluster.machine(pm_web).add_vm(web_spec);
+  cluster.machine(pm_db).add_vm(db_spec);
+  return wire_rubis(cluster, pm_web, pm_db, web_spec.name, db_spec.name,
+                    pm_client, options);
+}
+
+}  // namespace voprof::rubis

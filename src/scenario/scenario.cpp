@@ -1,0 +1,191 @@
+#include "voprof/scenario/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/csv.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/workloads/trace.hpp"
+#include "voprof/xensim/engine.hpp"
+
+namespace voprof::scenario {
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  const util::IniDocument doc = util::IniDocument::parse(text);
+  ScenarioSpec spec;
+
+  const util::IniSection& cluster = doc.unique("cluster");
+  spec.seed = static_cast<std::uint64_t>(cluster.get_int("seed", 42));
+  spec.machines = cluster.get_int("machines", 1);
+  VOPROF_REQUIRE_MSG(spec.machines >= 1, "[cluster] machines must be >= 1");
+  const std::string sched = cluster.get_or("scheduler", "macro");
+  if (sched == "macro") {
+    spec.scheduler = sim::SchedulerMode::kMacro;
+  } else if (sched == "micro") {
+    spec.scheduler = sim::SchedulerMode::kMicro;
+  } else {
+    throw util::ContractViolation(
+        "[cluster] scheduler must be macro|micro, got: " + sched);
+  }
+
+  if (doc.has_kind("run")) {
+    const util::IniSection& run = doc.unique("run");
+    spec.duration_s = run.get_double("duration", 60.0);
+    spec.warmup_s = run.get_double("warmup", 0.0);
+  }
+  VOPROF_REQUIRE_MSG(spec.duration_s > 0.0, "[run] duration must be > 0");
+  VOPROF_REQUIRE_MSG(spec.warmup_s >= 0.0, "[run] warmup must be >= 0");
+
+  for (const util::IniSection* vm : doc.of_kind("vm")) {
+    VmEntry e;
+    e.name = vm->name;
+    VOPROF_REQUIRE_MSG(!e.name.empty(), "[vm] sections need a name");
+    e.machine = vm->get_int("machine", 0);
+    VOPROF_REQUIRE_MSG(e.machine >= 0 && e.machine < spec.machines,
+                       "[vm " + e.name + "] machine out of range");
+    e.cpu_pct = vm->get_double("cpu", 0.0);
+    e.mem_mib = vm->get_double("mem", 0.0);
+    e.io_blocks = vm->get_double("io", 0.0);
+    e.bw_kbps = vm->get_double("bw", 0.0);
+    e.trace_path = vm->get_or("trace", "");
+    e.trace_interval_s = vm->get_double("trace_interval", 1.0);
+    VOPROF_REQUIRE_MSG(
+        e.trace_path.empty() ||
+            (e.cpu_pct == 0 && e.mem_mib == 0 && e.io_blocks == 0 &&
+             e.bw_kbps == 0),
+        "[vm " + e.name + "] trace and steady levels are exclusive");
+    VOPROF_REQUIRE_MSG(e.trace_interval_s > 0.0,
+                       "[vm " + e.name + "] trace_interval must be > 0");
+    e.bw_target_machine =
+        vm->get_int("bw_target_machine", sim::NetTarget::kExternal);
+    e.bw_target_vm = vm->get_or("bw_target_vm", "");
+    VOPROF_REQUIRE_MSG(
+        (e.bw_target_machine == sim::NetTarget::kExternal) ==
+            e.bw_target_vm.empty(),
+        "[vm " + e.name +
+            "] bw_target_machine and bw_target_vm go together");
+    for (const auto& other : spec.vms) {
+      VOPROF_REQUIRE_MSG(!(other.name == e.name &&
+                           other.machine == e.machine),
+                         "duplicate VM '" + e.name + "' on machine " +
+                             std::to_string(e.machine));
+    }
+    spec.vms.push_back(std::move(e));
+  }
+  VOPROF_REQUIRE_MSG(!spec.vms.empty(), "scenario needs at least one [vm]");
+
+  for (const util::IniSection* m : doc.of_kind("monitor")) {
+    const int idx = m->get_int("machine", 0);
+    VOPROF_REQUIRE_MSG(idx >= 0 && idx < spec.machines,
+                       "[monitor] machine out of range");
+    spec.monitored_machines.push_back(idx);
+  }
+  if (spec.monitored_machines.empty()) {
+    spec.monitored_machines.push_back(0);  // monitor the first machine
+  }
+
+  // Cross-validate bw targets.
+  for (const auto& vm : spec.vms) {
+    if (vm.bw_target_machine == sim::NetTarget::kExternal) continue;
+    VOPROF_REQUIRE_MSG(vm.bw_target_machine >= 0 &&
+                           vm.bw_target_machine < spec.machines,
+                       "[vm " + vm.name + "] bw_target_machine out of range");
+    bool found = false;
+    for (const auto& other : spec.vms) {
+      if (other.name == vm.bw_target_vm &&
+          other.machine == vm.bw_target_machine) {
+        found = true;
+        break;
+      }
+    }
+    VOPROF_REQUIRE_MSG(found, "[vm " + vm.name + "] bw target '" +
+                                  vm.bw_target_vm + "' not found on machine " +
+                                  std::to_string(vm.bw_target_machine));
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  std::ifstream f(path);
+  VOPROF_REQUIRE_MSG(f.good(), "cannot open scenario: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse(os.str());
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, spec.seed);
+  for (int i = 0; i < spec.machines; ++i) {
+    sim::MachineSpec mspec;
+    mspec.scheduler = spec.scheduler;
+    cluster.add_machine(mspec);
+  }
+  std::uint64_t wl_seed = spec.seed + 1000;
+  for (const auto& vm : spec.vms) {
+    sim::VmSpec vspec;
+    vspec.name = vm.name;
+    sim::DomU& dom =
+        cluster.machine(static_cast<std::size_t>(vm.machine)).add_vm(vspec);
+    sim::NetTarget trace_target;
+    if (vm.bw_target_machine != sim::NetTarget::kExternal) {
+      trace_target = sim::NetTarget{vm.bw_target_machine, vm.bw_target_vm};
+    }
+    if (!vm.trace_path.empty()) {
+      dom.attach(std::make_unique<wl::TraceWorkload>(
+          wl::trace_from_csv(util::CsvDocument::load(vm.trace_path), "vm_",
+                             vm.trace_interval_s),
+          trace_target, /*loop=*/true));
+    } else if (vm.cpu_pct > 0 || vm.mem_mib > 0 || vm.io_blocks > 0 ||
+               vm.bw_kbps > 0) {
+      wl::MixedWorkload::Levels levels;
+      levels.cpu_pct = vm.cpu_pct;
+      levels.mem_mib = vm.mem_mib;
+      levels.io_blocks_per_s = vm.io_blocks;
+      levels.bw_kbps = vm.bw_kbps;
+      sim::NetTarget target;
+      if (vm.bw_target_machine != sim::NetTarget::kExternal) {
+        target = sim::NetTarget{vm.bw_target_machine, vm.bw_target_vm};
+      }
+      dom.attach(
+          std::make_unique<wl::MixedWorkload>(levels, target, ++wl_seed));
+    }
+  }
+
+  engine.run_for(util::seconds(spec.warmup_s));
+  std::vector<std::unique_ptr<mon::MonitorScript>> monitors;
+  std::vector<int> monitored;
+  for (int idx : spec.monitored_machines) {
+    monitors.push_back(std::make_unique<mon::MonitorScript>(
+        engine, cluster.machine(static_cast<std::size_t>(idx))));
+    monitors.back()->start();
+    monitored.push_back(idx);
+  }
+  engine.run_for(util::seconds(spec.duration_s));
+  ScenarioResult result;
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    monitors[i]->stop();
+    result.reports.emplace(monitored[i], monitors[i]->report());
+  }
+  return result;
+}
+
+std::string ScenarioResult::summary() const {
+  std::ostringstream os;
+  for (const auto& [machine, report] : reports) {
+    util::AsciiTable t("machine " + std::to_string(machine));
+    t.set_header({"entity", "CPU(%)", "MEM(MiB)", "I/O(blk/s)", "BW(Kb/s)"});
+    for (const auto& key : report.keys()) {
+      const mon::UtilSample u = report.mean(key);
+      t.add_row({key, util::fmt(u.cpu_pct, 2), util::fmt(u.mem_mib, 1),
+                 util::fmt(u.io_blocks_per_s, 2), util::fmt(u.bw_kbps, 2)});
+    }
+    os << t.str() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace voprof::scenario

@@ -1,0 +1,139 @@
+#include "voprof/util/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::util {
+
+CsvDocument::CsvDocument(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VOPROF_REQUIRE_MSG(!header_.empty(), "CSV needs at least one column");
+}
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  const auto it = std::find(header_.begin(), header_.end(), name);
+  VOPROF_REQUIRE_MSG(it != header_.end(), "unknown CSV column: " + name);
+  return static_cast<std::size_t>(it - header_.begin());
+}
+
+bool CsvDocument::has_column(const std::string& name) const noexcept {
+  return std::find(header_.begin(), header_.end(), name) != header_.end();
+}
+
+void CsvDocument::add_row(std::vector<double> values) {
+  VOPROF_REQUIRE_MSG(values.size() == header_.size(),
+                     "CSV row width mismatch");
+  rows_.push_back(std::move(values));
+}
+
+double CsvDocument::at(std::size_t row, std::size_t col) const {
+  VOPROF_REQUIRE(row < rows_.size());
+  VOPROF_REQUIRE(col < header_.size());
+  return rows_[row][col];
+}
+
+double CsvDocument::at(std::size_t row, const std::string& col) const {
+  return at(row, column(col));
+}
+
+std::vector<double> CsvDocument::column_values(const std::string& name) const {
+  const std::size_t c = column(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[c]);
+  return out;
+}
+
+void CsvDocument::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << header_[i];
+    if (i + 1 < header_.size()) os << ',';
+  }
+  os << '\n';
+  os.precision(12);
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << r[i];
+      if (i + 1 < r.size()) os << ',';
+    }
+    os << '\n';
+  }
+}
+
+std::string CsvDocument::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void CsvDocument::save(const std::string& path) const {
+  std::ofstream f(path);
+  VOPROF_REQUIRE_MSG(f.good(), "cannot open CSV for writing: " + path);
+  write(f);
+}
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+}  // namespace
+
+CsvDocument CsvDocument::parse(std::istream& is) {
+  std::string line;
+  VOPROF_REQUIRE_MSG(static_cast<bool>(std::getline(is, line)),
+                     "CSV input is empty");
+  CsvDocument doc(split_line(line));
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    VOPROF_REQUIRE_MSG(cells.size() == doc.header_.size(),
+                       "CSV row width mismatch while parsing");
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      std::size_t pos = 0;
+      double v = 0.0;
+      try {
+        v = std::stod(cell, &pos);
+      } catch (const std::exception&) {
+        throw ContractViolation("non-numeric CSV cell: '" + cell + "'");
+      }
+      VOPROF_REQUIRE_MSG(pos == cell.size(),
+                         "trailing junk in CSV cell: '" + cell + "'");
+      row.push_back(v);
+    }
+    doc.rows_.push_back(std::move(row));
+  }
+  return doc;
+}
+
+CsvDocument CsvDocument::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+CsvDocument CsvDocument::load(const std::string& path) {
+  std::ifstream f(path);
+  VOPROF_REQUIRE_MSG(f.good(), "cannot open CSV for reading: " + path);
+  return parse(f);
+}
+
+}  // namespace voprof::util

@@ -1,0 +1,10 @@
+#include "voprof/util/rng.hpp"
+
+#include <cmath>
+
+namespace voprof::util {
+
+double Rng::sqrt_impl(double x) noexcept { return std::sqrt(x); }
+double Rng::log_impl(double x) noexcept { return std::log(x); }
+
+}  // namespace voprof::util

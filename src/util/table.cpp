@@ -1,0 +1,91 @@
+#include "voprof/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::util {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  VOPROF_REQUIRE_MSG(header_.empty() || row.size() == header_.size(),
+                     "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_rule() { rows_.emplace_back(); }
+
+std::string AsciiTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  // Compute column widths over header + all rows.
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.empty()) return;
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  auto print_rule = [&os, total]() {
+    for (std::size_t i = 0; i < total; ++i) os << '-';
+    os << '\n';
+  };
+  auto print_row = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        for (std::size_t p = row[i].size(); p < widths[i] + 2; ++p) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      print_rule();
+    } else {
+      print_row(r);
+    }
+  }
+}
+
+std::string fmt(double v, int decimals) {
+  VOPROF_REQUIRE(decimals >= 0);
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  // Avoid "-0.00".
+  if (std::abs(v) < 0.5 * std::pow(10.0, -decimals)) v = 0.0;
+  os << v;
+  return os.str();
+}
+
+std::string fmt_vs(double measured, double paper, int decimals) {
+  return fmt(measured, decimals) + " (" + fmt(paper, decimals) + ")";
+}
+
+}  // namespace voprof::util

@@ -1,0 +1,62 @@
+#include "voprof/util/time_series.hpp"
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::util {
+
+void TimeSeries::add(SimMicros time, double value) {
+  VOPROF_REQUIRE_MSG(samples_.empty() || time >= samples_.back().time,
+                     "timestamps must be non-decreasing");
+  samples_.push_back({time, value});
+}
+
+const TimedSample& TimeSeries::operator[](std::size_t i) const {
+  VOPROF_REQUIRE(i < samples_.size());
+  return samples_[i];
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+double TimeSeries::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& q : samples_) s += q.value;
+  return s / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::mean_between(SimMicros from, SimMicros to) const noexcept {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& q : samples_) {
+    if (q.time >= from && q.time < to) {
+      s += q.value;
+      ++n;
+    }
+  }
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+RunningStats TimeSeries::stats() const noexcept {
+  RunningStats st;
+  for (const auto& q : samples_) st.add(q.value);
+  return st;
+}
+
+TimeSeries TimeSeries::slice(SimMicros from, SimMicros to) const {
+  TimeSeries out;
+  for (const auto& q : samples_) {
+    if (q.time >= from && q.time < to) out.add(q.time, q.value);
+  }
+  return out;
+}
+
+double TimeSeries::last_or(double fallback) const noexcept {
+  return samples_.empty() ? fallback : samples_.back().value;
+}
+
+}  // namespace voprof::util

@@ -1,0 +1,74 @@
+#include "voprof/workloads/levels.hpp"
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::wl {
+
+double level_value(WorkloadKind kind, std::size_t level) {
+  VOPROF_REQUIRE_MSG(level < kLevelCount, "Table II has 5 levels");
+  switch (kind) {
+    case WorkloadKind::kCpu:
+      return kCpuLevelsPct[level];
+    case WorkloadKind::kMem:
+      return kMemLevelsMib[level];
+    case WorkloadKind::kIo:
+      return kIoLevelsBlocks[level];
+    case WorkloadKind::kBw:
+      return kBwLevelsKbps[level];
+  }
+  throw util::ContractViolation("unknown workload kind");
+}
+
+std::string kind_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kCpu:
+      return "CPU-intensive";
+    case WorkloadKind::kMem:
+      return "MEM-intensive";
+    case WorkloadKind::kIo:
+      return "I/O-intensive";
+    case WorkloadKind::kBw:
+      return "BW-intensive";
+  }
+  throw util::ContractViolation("unknown workload kind");
+}
+
+std::string kind_unit(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kCpu:
+      return "%";
+    case WorkloadKind::kMem:
+      return "Mb";
+    case WorkloadKind::kIo:
+      return "blocks/s";
+    case WorkloadKind::kBw:
+      return "Kb/s";
+  }
+  throw util::ContractViolation("unknown workload kind");
+}
+
+std::unique_ptr<sim::GuestProcess> make_workload(WorkloadKind kind,
+                                                 std::size_t level,
+                                                 sim::NetTarget bw_target,
+                                                 std::uint64_t seed) {
+  return make_workload_value(kind, level_value(kind, level),
+                             std::move(bw_target), seed);
+}
+
+std::unique_ptr<sim::GuestProcess> make_workload_value(
+    WorkloadKind kind, double value, sim::NetTarget bw_target,
+    std::uint64_t seed) {
+  switch (kind) {
+    case WorkloadKind::kCpu:
+      return std::make_unique<CpuHog>(value, seed);
+    case WorkloadKind::kMem:
+      return std::make_unique<MemHog>(value, seed);
+    case WorkloadKind::kIo:
+      return std::make_unique<IoHog>(value, seed);
+    case WorkloadKind::kBw:
+      return std::make_unique<NetPing>(value, std::move(bw_target), seed);
+  }
+  throw util::ContractViolation("unknown workload kind");
+}
+
+}  // namespace voprof::wl

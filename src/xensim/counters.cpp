@@ -1,0 +1,14 @@
+#include "voprof/xensim/counters.hpp"
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+
+const DomainSnapshot& MachineSnapshot::guest(const std::string& name) const {
+  for (const auto& g : guests) {
+    if (g.name == name) return g;
+  }
+  throw util::ContractViolation("no such guest in snapshot: " + name);
+}
+
+}  // namespace voprof::sim

@@ -1,0 +1,109 @@
+#include "voprof/xensim/credit_micro.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+
+MicroCreditScheduler::MicroCreditScheduler(int cores, double efficiency)
+    : cores_(cores), efficiency_(efficiency) {
+  VOPROF_REQUIRE(cores > 0);
+  VOPROF_REQUIRE(efficiency > 0.0 && efficiency <= 1.0);
+}
+
+double MicroCreditScheduler::credits(std::size_t vcpu) const {
+  VOPROF_REQUIRE(vcpu < credits_.size());
+  return credits_[vcpu];
+}
+
+void MicroCreditScheduler::redistribute(
+    const std::vector<SchedRequest>& requests) {
+  // One accounting period's pool: cores * period seconds of core time.
+  const double pool =
+      kCreditsPerCoreSecond * kAccountingPeriodS * static_cast<double>(cores_);
+  double total_weight = 0.0;
+  for (const auto& r : requests) total_weight += r.weight;
+  if (total_weight <= 0.0) return;
+  const double cap =
+      kBalanceCapPeriods * pool / static_cast<double>(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    credits_[i] += pool * requests[i].weight / total_weight;
+    credits_[i] = std::min(credits_[i], cap);
+  }
+}
+
+SchedResult MicroCreditScheduler::tick(
+    const std::vector<SchedRequest>& requests, double dt) {
+  VOPROF_REQUIRE(dt > 0.0);
+  SchedResult result;
+  result.granted_pct.assign(requests.size(), 0.0);
+  if (requests.empty()) return result;
+
+  if (credits_.size() != requests.size()) {
+    // Population changed (VM created/destroyed): reset balances.
+    credits_.assign(requests.size(), 0.0);
+    since_accounting_s_ = 0.0;
+    redistribute(requests);
+  }
+
+  std::size_t runnable = 0;
+  for (const auto& r : requests) {
+    VOPROF_REQUIRE(r.demand_pct >= 0.0);
+    VOPROF_REQUIRE(r.weight > 0.0);
+    if (r.demand_pct > 0.0) ++runnable;
+  }
+
+  // Per-tick core time, with the co-location efficiency loss.
+  const double per_core_time =
+      dt * (runnable >= 2 ? efficiency_ : 1.0);
+
+  // Remaining demand of each VCPU this tick, in core-seconds.
+  std::vector<double> want(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    want[i] = std::min(requests[i].demand_pct, requests[i].cap_pct) / 100.0 *
+              dt;
+  }
+
+  // Priority order: UNDER (credits > 0) before OVER, larger balance
+  // first within a class — Xen's runqueue ordering at this granularity.
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    const bool ua = credits_[a] > 0.0, ub = credits_[b] > 0.0;
+    if (ua != ub) return ua;
+    if (credits_[a] != credits_[b]) return credits_[a] > credits_[b];
+    return a < b;
+  });
+
+  // Each core serves candidates in priority order; early finishers
+  // donate their slack to the next candidate (work conservation).
+  double core_time_left = per_core_time * static_cast<double>(cores_);
+  for (std::size_t idx : order) {
+    if (core_time_left <= 1e-15) break;
+    if (want[idx] <= 0.0) continue;
+    // A VCPU cannot run on two cores at once: at most one core-tick.
+    const double slice = std::min({want[idx], per_core_time, core_time_left});
+    result.granted_pct[idx] = slice / dt * 100.0;
+    credits_[idx] -= slice * kCreditsPerCoreSecond;
+    core_time_left -= slice;
+  }
+
+  for (double g : result.granted_pct) result.total_granted_pct += g;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (result.granted_pct[i] / 100.0 * dt + 1e-12 < want[i]) {
+      result.contended = true;
+      break;
+    }
+  }
+
+  since_accounting_s_ += dt;
+  if (since_accounting_s_ >= kAccountingPeriodS - 1e-12) {
+    since_accounting_s_ = 0.0;
+    redistribute(requests);
+  }
+  return result;
+}
+
+}  // namespace voprof::sim

@@ -1,0 +1,94 @@
+#include "voprof/xensim/domain.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+
+DomU::DomU(VmSpec spec) : Domain(spec.name), spec_(std::move(spec)) {
+  set_mem(spec_.os_base_mem_mib);
+}
+
+void DomU::attach(std::unique_ptr<GuestProcess> process) {
+  VOPROF_REQUIRE(process != nullptr);
+  owned_.push_back(std::move(process));
+}
+
+void DomU::attach_shared(GuestProcess* process) {
+  VOPROF_REQUIRE(process != nullptr);
+  shared_.push_back(process);
+}
+
+bool DomU::detach_shared(GuestProcess* process) noexcept {
+  const auto it = std::find(shared_.begin(), shared_.end(), process);
+  if (it == shared_.end()) return false;
+  shared_.erase(it);
+  return true;
+}
+
+std::size_t DomU::process_count() const noexcept {
+  return owned_.size() + shared_.size();
+}
+
+std::vector<GuestProcess*> DomU::all_processes() noexcept {
+  std::vector<GuestProcess*> out;
+  out.reserve(process_count());
+  for (const auto& p : owned_) out.push_back(p.get());
+  for (GuestProcess* p : shared_) out.push_back(p);
+  return out;
+}
+
+ProcessDemand DomU::collect_demand(util::SimMicros now, double dt) {
+  ProcessDemand total;
+  for (GuestProcess* p : all_processes()) total += p->demand(now, dt);
+  // Frontend-driver enforcement of the virtual-disk throughput cap
+  // (paper: "maximum I/O capacity limit of about 90 blocks/s").
+  const double max_blocks = spec_.io_cap_blocks_per_s * dt;
+  total.io_blocks = std::min(total.io_blocks, max_blocks);
+  // A single-VCPU guest cannot demand more than its VCPU count allows.
+  total.cpu_pct = std::min(total.cpu_pct, spec_.cpu_capacity_pct());
+  last_demand_ = total;
+  return last_demand_;
+}
+
+void DomU::grant(double cpu_frac, util::SimMicros now, double dt) {
+  for (GuestProcess* p : all_processes()) p->granted(cpu_frac, now, dt);
+}
+
+void DomU::deliver(double kbits, int tag, util::SimMicros now) {
+  charge_rx(kbits);
+  for (GuestProcess* p : all_processes()) p->on_receive(kbits, tag, now);
+}
+
+void DomU::refresh_memory() noexcept {
+  // Guest-OS resident set plus whatever the processes currently hold,
+  // clamped to the configured RAM.
+  const double want = spec_.os_base_mem_mib + last_demand_.mem_mib;
+  set_mem(std::min(want, spec_.mem_mib));
+}
+
+Dom0::Dom0(double mem_mib) : Domain("Domain-0") { set_mem(mem_mib); }
+
+int Dom0::add_background_cpu(double pct) {
+  VOPROF_REQUIRE(pct >= 0.0);
+  const int id = next_id_++;
+  background_.push_back({id, pct});
+  return id;
+}
+
+void Dom0::remove_background_cpu(int id) noexcept {
+  background_.erase(
+      std::remove_if(background_.begin(), background_.end(),
+                     [id](const BackgroundEntry& e) { return e.id == id; }),
+      background_.end());
+}
+
+double Dom0::background_cpu_pct() const noexcept {
+  double s = 0.0;
+  for (const auto& e : background_) s += e.pct;
+  return s;
+}
+
+}  // namespace voprof::sim

@@ -1,0 +1,77 @@
+#include "voprof/xensim/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+
+Engine::Engine(util::SimMicros tick_period) : tick_period_(tick_period) {
+  VOPROF_REQUIRE_MSG(tick_period > 0, "tick period must be positive");
+}
+
+void Engine::add_listener(TickListener* listener) {
+  VOPROF_REQUIRE(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void Engine::remove_listener(TickListener* listener) noexcept {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void Engine::schedule_at(util::SimMicros at, std::function<void()> fn) {
+  VOPROF_REQUIRE_MSG(at >= now_, "cannot schedule an event in the past");
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_after(util::SimMicros delay, std::function<void()> fn) {
+  VOPROF_REQUIRE(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::schedule_every(util::SimMicros period, std::function<void()> fn) {
+  VOPROF_REQUIRE(period > 0);
+  // Re-arming one-shot: each firing schedules the next.
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  std::function<void()> rearm = [this, period, shared_fn]() {
+    (*shared_fn)();
+    schedule_every(period, *shared_fn);
+  };
+  schedule_after(period, std::move(rearm));
+}
+
+void Engine::fire_due_events(util::SimMicros up_to_inclusive) {
+  while (!events_.empty() && events_.top().at <= up_to_inclusive) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = std::max(now_, ev.at);
+    ev.fn();
+  }
+}
+
+void Engine::run_until(util::SimMicros until) {
+  VOPROF_REQUIRE_MSG(until >= now_, "cannot run backwards in time");
+  while (now_ < until) {
+    const util::SimMicros tick_end = std::min(until, now_ + tick_period_);
+    const util::SimMicros tick_start = now_;
+    // Events scheduled within (start, end] fire at their timestamps
+    // before the tick covering the interval executes.
+    fire_due_events(tick_end);
+    now_ = tick_end;
+    const double dt = util::to_seconds(tick_end - tick_start);
+    if (dt > 0.0) {
+      for (TickListener* l : listeners_) l->tick(now_, dt);
+    }
+  }
+}
+
+void Engine::run_for(util::SimMicros duration) {
+  VOPROF_REQUIRE(duration >= 0);
+  run_until(now_ + duration);
+}
+
+}  // namespace voprof::sim

@@ -1,0 +1,56 @@
+#include "voprof/xensim/network.hpp"
+
+#include <algorithm>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+
+NetworkFabric::NetworkFabric(FabricSpec spec) : spec_(spec) {
+  VOPROF_REQUIRE(spec_.capacity_kbps > 0.0);
+  VOPROF_REQUIRE(spec_.latency >= 0);
+}
+
+void NetworkFabric::submit(const OutboundFlow& flow, int /*from_pm*/,
+                           util::SimMicros now) {
+  VOPROF_REQUIRE(flow.kbits >= 0.0);
+  VOPROF_REQUIRE_MSG(!flow.target.is_external(),
+                     "external flows never enter the fabric");
+  if (flow.kbits <= 0.0) return;
+  queue_.push_back(InFlight{now + spec_.latency, flow.target.pm_id,
+                            flow.target.vm_name, flow.kbits, flow.tag});
+}
+
+std::vector<FabricDelivery> NetworkFabric::advance(util::SimMicros now,
+                                                   double dt) {
+  VOPROF_REQUIRE(dt > 0.0);
+  std::vector<FabricDelivery> out;
+  double budget = spec_.capacity_kbps * dt;
+  while (!queue_.empty() && budget > 1e-15) {
+    InFlight& head = queue_.front();
+    if (head.ready_at > now) break;  // latency not yet elapsed (FIFO)
+    const double chunk = std::min(head.kbits, budget);
+    budget -= chunk;
+    switched_kbits_ += chunk;
+    head.kbits -= chunk;
+    // Merge into the previous delivery when the same flow spilled
+    // across budget boundaries.
+    if (!out.empty() && out.back().to_pm == head.to_pm &&
+        out.back().vm_name == head.vm_name && out.back().tag == head.tag) {
+      out.back().kbits += chunk;
+    } else {
+      out.push_back(FabricDelivery{head.to_pm, head.vm_name, chunk,
+                                   head.tag});
+    }
+    if (head.kbits <= 1e-12) queue_.pop_front();
+  }
+  return out;
+}
+
+double NetworkFabric::backlog_kbits() const noexcept {
+  double s = 0.0;
+  for (const auto& f : queue_) s += f.kbits;
+  return s;
+}
+
+}  // namespace voprof::sim

@@ -1,0 +1,19 @@
+#include "voprof/xensim/process.hpp"
+
+namespace voprof::sim {
+
+ProcessDemand& ProcessDemand::operator+=(const ProcessDemand& other) {
+  cpu_pct += other.cpu_pct;
+  mem_mib += other.mem_mib;
+  io_blocks += other.io_blocks;
+  flows.insert(flows.end(), other.flows.begin(), other.flows.end());
+  return *this;
+}
+
+void GuestProcess::granted(double /*cpu_frac*/, util::SimMicros /*now*/,
+                           double /*dt*/) {}
+
+void GuestProcess::on_receive(double /*kbits*/, int /*tag*/,
+                              util::SimMicros /*now*/) {}
+
+}  // namespace voprof::sim

@@ -1,0 +1,89 @@
+#include "voprof/xensim/tracelog.hpp"
+
+#include <sstream>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+
+std::string trace_event_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kVmCreated:
+      return "vm-created";
+    case TraceEventType::kVmRemoved:
+      return "vm-removed";
+    case TraceEventType::kSchedContention:
+      return "sched-contention";
+    case TraceEventType::kDiskThrottled:
+      return "disk-throttled";
+    case TraceEventType::kNicThrottled:
+      return "nic-throttled";
+    case TraceEventType::kMigrationStarted:
+      return "migration-started";
+    case TraceEventType::kMigrationFinished:
+      return "migration-finished";
+    case TraceEventType::kMigrationFailed:
+      return "migration-failed";
+  }
+  throw util::ContractViolation("unknown trace event type");
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+  VOPROF_REQUIRE_MSG(capacity > 0, "trace log capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+void TraceLog::record(TraceEvent event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::size_t TraceLog::size() const noexcept { return ring_.size(); }
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: oldest element sits at next_.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::events_of(TraceEventType type) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events()) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceLog::clear() noexcept {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceLog::dump() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  for (const TraceEvent& e : events()) {
+    os << "t=" << util::to_seconds(e.time) << "s pm" << e.pm_id << ' '
+       << trace_event_name(e.type);
+    if (!e.subject.empty()) os << ' ' << e.subject;
+    os << ' ' << e.value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace voprof::sim

@@ -1,0 +1,61 @@
+#include "voprof/xensim/vdisk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+
+VirtualDisk::VirtualDisk(VDiskGeometry geometry, std::uint64_t seed)
+    : geometry_(geometry), rng_(seed) {
+  VOPROF_REQUIRE(geometry_.op_blocks >= 1.0);
+  VOPROF_REQUIRE(geometry_.stripe_blocks >= 1.0);
+  VOPROF_REQUIRE(geometry_.journal_blocks_per_op >= 0.0);
+  VOPROF_REQUIRE(geometry_.stripes >= 1);
+}
+
+double VirtualDisk::physical_blocks_for_op(double offset_blocks) const {
+  VOPROF_REQUIRE(offset_blocks >= 0.0);
+  const double s = geometry_.stripe_blocks;
+  // Guest offsets are block-aligned: the within-stripe position is an
+  // integer in [0, s).
+  const double u = std::floor(std::fmod(offset_blocks, s));
+  const double stripes_touched = std::ceil((u + geometry_.op_blocks) / s);
+  // Whole-stripe read-modify-write per touched stripe + journal.
+  return stripes_touched * s + geometry_.journal_blocks_per_op;
+}
+
+double VirtualDisk::physical_blocks(double guest_blocks) {
+  VOPROF_REQUIRE(guest_blocks >= 0.0);
+  if (guest_blocks <= 0.0) return 0.0;
+  const double ops = guest_blocks / geometry_.op_blocks;
+  const auto whole_ops = static_cast<long long>(ops);
+  double physical = 0.0;
+  for (long long i = 0; i < whole_ops; ++i) {
+    const double offset =
+        std::floor(rng_.uniform(0.0, 1024.0 * geometry_.stripe_blocks));
+    physical += physical_blocks_for_op(offset);
+  }
+  // Fractional tail op (fluid workloads submit fractional counts per
+  // tick): use the expectation to stay unbiased.
+  const double frac = ops - static_cast<double>(whole_ops);
+  physical += frac * expected_amplification() * geometry_.op_blocks;
+  return physical;
+}
+
+double VirtualDisk::expected_amplification() const noexcept {
+  const double s = geometry_.stripe_blocks;
+  const double l = geometry_.op_blocks;
+  // Write l = (k-1)s + r with r in (0, s]. For a block-aligned offset
+  // u uniform over {0, ..., s-1}, the op touches
+  //   ceil((u + l)/s) = k + [u > s - r]
+  // stripes, and #{u : u > s - r} = r - 1, so
+  //   E[stripes] = k + (r - 1)/s.
+  const double k = std::ceil(l / s);
+  const double r = l - (k - 1.0) * s;
+  const double expected_stripes = k + std::max(0.0, (r - 1.0) / s);
+  return (expected_stripes * s + geometry_.journal_blocks_per_op) / l;
+}
+
+}  // namespace voprof::sim

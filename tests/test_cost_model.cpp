@@ -1,0 +1,251 @@
+/// Property-style sweeps over the machine's cost model: monotonicity,
+/// saturation caps, device throttling and conservation invariants that
+/// must hold for ANY workload intensity, not just the paper's anchor
+/// points.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/monitor/sample.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/workloads/levels.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::sim {
+namespace {
+
+using util::seconds;
+
+struct Measured {
+  double vm_cpu = 0.0;
+  double dom0_cpu = 0.0;
+  double hyp_cpu = 0.0;
+  double pm_io = 0.0;
+  double pm_bw = 0.0;
+  double vm_io = 0.0;
+  double vm_bw = 0.0;
+};
+
+Measured run(wl::WorkloadKind kind, double value, int n_vms,
+             std::uint64_t seed) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, seed);
+  PhysicalMachine& pm = cluster.add_machine(MachineSpec{});
+  for (int i = 0; i < n_vms; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    pm.add_vm(spec).attach(wl::make_workload_value(
+        kind, value, NetTarget{}, seed + static_cast<std::uint64_t>(i)));
+  }
+  const MachineSnapshot b = pm.snapshot(engine.now());
+  engine.run_for(seconds(20));
+  const MachineSnapshot a = pm.snapshot(engine.now());
+  Measured m;
+  m.dom0_cpu = mon::domain_util(b.dom0.counters, a.dom0.counters, 20).cpu_pct;
+  m.hyp_cpu = mon::domain_util(b.hypervisor, a.hypervisor, 20).cpu_pct;
+  const mon::UtilSample vm =
+      mon::domain_util(b.guests[0].counters, a.guests[0].counters, 20);
+  m.vm_cpu = vm.cpu_pct;
+  m.vm_io = vm.io_blocks_per_s;
+  m.vm_bw = vm.bw_kbps;
+  const mon::DeviceUtil dev = mon::device_util(b.devices, a.devices, 20);
+  m.pm_io = dev.disk_blocks_per_s;
+  m.pm_bw = dev.nic_kbps;
+  return m;
+}
+
+/// Dom0 and hypervisor CPU are non-decreasing in CPU workload.
+class CpuMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuMonotonicity, OverheadGrowsWithLoad) {
+  const int n_vms = GetParam();
+  double prev_dom0 = -1.0, prev_hyp = -1.0;
+  for (double load : {5.0, 25.0, 50.0, 75.0, 95.0}) {
+    const Measured m = run(wl::WorkloadKind::kCpu, load, n_vms,
+                           static_cast<std::uint64_t>(load) * 7 + 1);
+    EXPECT_GE(m.dom0_cpu, prev_dom0 - 0.5) << "load " << load;
+    EXPECT_GE(m.hyp_cpu, prev_hyp - 0.3) << "load " << load;
+    prev_dom0 = m.dom0_cpu;
+    prev_hyp = m.hyp_cpu;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VmCounts, CpuMonotonicity,
+                         ::testing::Values(1, 2, 3, 4));
+
+/// Dom0 CPU grows linearly in bandwidth for any VM count.
+class BwLinearity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BwLinearity, Dom0SlopeScalesWithVmCount) {
+  const int n_vms = GetParam();
+  const Measured lo = run(wl::WorkloadKind::kBw, 100.0, n_vms, 11);
+  const Measured mid = run(wl::WorkloadKind::kBw, 600.0, n_vms, 12);
+  const Measured hi = run(wl::WorkloadKind::kBw, 1100.0, n_vms, 13);
+  const double slope1 = (mid.dom0_cpu - lo.dom0_cpu) / 500.0;
+  const double slope2 = (hi.dom0_cpu - mid.dom0_cpu) / 500.0;
+  // Constant marginal cost (linearity) ...
+  EXPECT_NEAR(slope1, slope2, 0.004);
+  // ... proportional to the number of transmitting VMs.
+  EXPECT_NEAR(slope1, 0.0105 * n_vms, 0.004 * n_vms);
+}
+
+INSTANTIATE_TEST_SUITE_P(VmCounts, BwLinearity, ::testing::Values(1, 2, 4));
+
+/// Saturation caps: no matter how hard the guests push, Dom0 and
+/// hypervisor stay within their documented plateaus.
+class SaturationCaps : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaturationCaps, PlateausHold) {
+  const int n_vms = GetParam();
+  const Measured m = run(wl::WorkloadKind::kCpu, 100.0, n_vms, 17);
+  const CostModel costs;
+  if (n_vms == 1) {
+    EXPECT_LE(m.dom0_cpu,
+              costs.dom0_base_cpu_pct + costs.dom0_ctrl_sat_single_pct + 1.0);
+    EXPECT_LE(m.hyp_cpu,
+              costs.hyp_base_cpu_pct + costs.hyp_sched_sat_single_pct + 0.5);
+  } else {
+    EXPECT_LE(m.dom0_cpu, costs.dom0_base_cpu_pct +
+                              costs.dom0_coloc_cpu_pct +
+                              costs.dom0_ctrl_sat_multi_pct + 1.0);
+    EXPECT_LE(m.hyp_cpu,
+              costs.hyp_base_cpu_pct + costs.hyp_sched_sat_multi_pct + 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VmCounts, SaturationCaps,
+                         ::testing::Values(1, 2, 4, 8));
+
+/// Guest CPU grants never exceed the pool, for any VM count.
+class PoolConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolConservation, SumOfGrantsBounded) {
+  const int n_vms = GetParam();
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 23);
+  PhysicalMachine& pm = cluster.add_machine(MachineSpec{});
+  for (int i = 0; i < n_vms; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    pm.add_vm(spec).attach(
+        std::make_unique<wl::CpuHog>(100.0, 29 + static_cast<std::uint64_t>(i)));
+  }
+  const MachineSnapshot b = pm.snapshot(engine.now());
+  engine.run_for(seconds(10));
+  const MachineSnapshot a = pm.snapshot(engine.now());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.guests.size(); ++i) {
+    total += mon::domain_util(b.guests[i].counters, a.guests[i].counters, 10)
+                 .cpu_pct;
+  }
+  const double pool =
+      MachineSpec{}.guest_cpu_capacity_pct() *
+      (n_vms >= 2 ? CostModel{}.multi_vm_sched_efficiency : 1.0);
+  // A VCPU cannot exceed its own capacity even if the pool has slack.
+  const double expected = std::min(pool, 100.0 * n_vms);
+  EXPECT_LE(total, pool + 1.0);
+  EXPECT_GE(total, expected * 0.95);  // work conserving under saturation
+}
+
+INSTANTIATE_TEST_SUITE_P(VmCounts, PoolConservation,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// ------------------------------------------------ device saturation
+TEST(DeviceThrottling, DiskSaturationCapsPhysicalBlocks) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 31);
+  MachineSpec small_disk;
+  small_disk.disk_blocks_per_s = 200.0;  // tiny SATA budget
+  PhysicalMachine& pm = cluster.add_machine(small_disk);
+  for (int i = 0; i < 4; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    pm.add_vm(spec).attach(
+        std::make_unique<wl::IoHog>(80.0, 37 + static_cast<std::uint64_t>(i)));
+  }
+  const MachineSnapshot b = pm.snapshot(engine.now());
+  engine.run_for(seconds(20));
+  const MachineSnapshot a = pm.snapshot(engine.now());
+  const double pm_io = mon::device_util(b.devices, a.devices, 20)
+                           .disk_blocks_per_s;
+  // 4 x 80 blk/s would need ~675 physical blk/s; the device caps it.
+  EXPECT_LE(pm_io, 200.0 * 1.02);
+  EXPECT_GT(pm.throttled_disk_blocks(), 0.0);
+}
+
+TEST(DeviceThrottling, NicSaturationCapsOutbound) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 41);
+  MachineSpec thin_nic;
+  thin_nic.nic_kbps = 2000.0;  // 2 Mb/s uplink
+  PhysicalMachine& pm = cluster.add_machine(thin_nic);
+  for (int i = 0; i < 4; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    pm.add_vm(spec).attach(std::make_unique<wl::NetPing>(
+        1280.0, NetTarget{}, 43 + static_cast<std::uint64_t>(i)));
+  }
+  const MachineSnapshot b = pm.snapshot(engine.now());
+  engine.run_for(seconds(20));
+  const MachineSnapshot a = pm.snapshot(engine.now());
+  const double nic = mon::device_util(b.devices, a.devices, 20).nic_kbps;
+  EXPECT_LE(nic, 2000.0 * 1.02);
+  EXPECT_GT(pm.throttled_nic_kbits(), 0.0);
+}
+
+TEST(DeviceThrottling, NeverTriggersAtPaperScale) {
+  // The paper's workloads must not hit the device models.
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 47);
+  PhysicalMachine& pm = cluster.add_machine(MachineSpec{});
+  for (int i = 0; i < 4; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    DomU& vm = pm.add_vm(spec);
+    vm.attach(std::make_unique<wl::IoHog>(72.0, 53 + static_cast<std::uint64_t>(i)));
+    vm.attach(std::make_unique<wl::NetPing>(1280.0, NetTarget{},
+                                            59 + static_cast<std::uint64_t>(i)));
+  }
+  engine.run_for(seconds(30));
+  EXPECT_DOUBLE_EQ(pm.throttled_disk_blocks(), 0.0);
+  EXPECT_DOUBLE_EQ(pm.throttled_nic_kbits(), 0.0);
+}
+
+TEST(InjectedTraffic, ChargesNicAndDom0) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 61);
+  PhysicalMachine& pm = cluster.add_machine(MachineSpec{});
+  const MachineSnapshot b = pm.snapshot(engine.now());
+  // 1000 Kbits injected per second for 10 s.
+  for (int s = 0; s < 1000; ++s) {
+    engine.run_for(util::milliseconds(10));
+    pm.inject_dom0_traffic(10.0, 0.0);
+  }
+  engine.run_for(util::milliseconds(10));
+  const MachineSnapshot a = pm.snapshot(engine.now());
+  const double dur = util::to_seconds(a.time - b.time);
+  const double nic = mon::device_util(b.devices, a.devices, dur).nic_kbps;
+  EXPECT_NEAR(nic, 1000.0, 60.0);
+  const double dom0 =
+      mon::domain_util(b.dom0.counters, a.dom0.counters, dur).cpu_pct;
+  // netback cost 0.0105 %/Kbps on ~1000 Kb/s plus the 16.35 base.
+  EXPECT_NEAR(dom0, 16.35 + 10.5, 1.5);
+  EXPECT_THROW(pm.inject_dom0_traffic(-1.0, 0.0), util::ContractViolation);
+}
+
+TEST(MemoryAccounting, PmMemoryTracksWorkloads) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 67);
+  PhysicalMachine& pm = cluster.add_machine(MachineSpec{});
+  VmSpec spec;
+  spec.name = "vm1";
+  pm.add_vm(spec).attach(std::make_unique<wl::MemHog>(50.0, 71));
+  engine.run_for(seconds(5));
+  EXPECT_NEAR(pm.memory_in_use_mib(),
+              MachineSpec{}.dom0_mem_mib + VmSpec{}.os_base_mem_mib + 50.0,
+              2.0);
+}
+
+}  // namespace
+}  // namespace voprof::sim

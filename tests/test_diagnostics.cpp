@@ -1,0 +1,101 @@
+#include "voprof/core/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/util/rng.hpp"
+
+namespace voprof::model {
+namespace {
+
+/// Linear ground truth with known coefficients and homoscedastic noise.
+TrainingSet make_data(std::size_t n, double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TrainingSet data;
+  for (std::size_t i = 0; i < n; ++i) {
+    TrainingRow r;
+    r.n_vms = 1;
+    r.vm_sum = UtilVec{rng.uniform(0, 100), rng.uniform(80, 140),
+                       rng.uniform(0, 90), rng.uniform(0, 1280)};
+    r.pm = UtilVec{
+        20.0 + 1.1 * r.vm_sum.cpu + 0.011 * r.vm_sum.bw +
+            rng.gaussian(0, noise),
+        752.0 + r.vm_sum.mem + rng.gaussian(0, noise),
+        18.8 + 2.05 * r.vm_sum.io + rng.gaussian(0, noise),
+        2.0 + 1.001 * r.vm_sum.bw + rng.gaussian(0, noise)};
+    r.dom0_cpu = 16.8 + 0.05 * r.vm_sum.cpu + 0.0105 * r.vm_sum.bw +
+                 rng.gaussian(0, noise);
+    r.hyp_cpu = 3.0 + 0.04 * r.vm_sum.cpu + rng.gaussian(0, noise);
+    data.add(std::move(r));
+  }
+  return data;
+}
+
+TEST(Bootstrap, IntervalsCoverTrueCoefficients) {
+  const TrainingSet data = make_data(600, 0.5, 3);
+  const auto diags = bootstrap_single_vm(data);
+  ASSERT_EQ(diags.size(), 6u);
+  const FitDiagnostics& cpu = diags[0];
+  EXPECT_EQ(cpu.target, "PM CPU");
+  // True values: intercept 20, cpu slope 1.1, bw slope 0.011.
+  EXPECT_LE(cpu.coef[0].lo, 20.0);
+  EXPECT_GE(cpu.coef[0].hi, 20.0);
+  EXPECT_LE(cpu.coef[1].lo, 1.1);
+  EXPECT_GE(cpu.coef[1].hi, 1.1);
+  EXPECT_LE(cpu.coef[4].lo, 0.011);
+  EXPECT_GE(cpu.coef[4].hi, 0.011);
+}
+
+TEST(Bootstrap, RealSlopesSignificantNullSlopesNot) {
+  const TrainingSet data = make_data(600, 0.5, 5);
+  const auto diags = bootstrap_single_vm(data);
+  const FitDiagnostics& cpu = diags[0];
+  EXPECT_TRUE(cpu.coef[1].excludes_zero());   // cpu slope is real
+  EXPECT_TRUE(cpu.coef[4].excludes_zero());   // bw slope is real
+  EXPECT_FALSE(cpu.coef[3].excludes_zero());  // io slope is zero
+  const FitDiagnostics& hyp = diags[5];
+  EXPECT_TRUE(hyp.coef[1].excludes_zero());
+  EXPECT_FALSE(hyp.coef[4].excludes_zero());
+}
+
+TEST(Bootstrap, IntervalsShrinkWithMoreData) {
+  const auto small = bootstrap_single_vm(make_data(60, 1.0, 7));
+  const auto large = bootstrap_single_vm(make_data(2000, 1.0, 7));
+  EXPECT_LT(large[0].coef[1].width(), small[0].coef[1].width());
+}
+
+TEST(Bootstrap, IntervalsGrowWithNoise) {
+  const auto quiet = bootstrap_single_vm(make_data(400, 0.1, 9));
+  const auto loud = bootstrap_single_vm(make_data(400, 5.0, 9));
+  EXPECT_LT(quiet[0].coef[1].width(), loud[0].coef[1].width());
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const TrainingSet data = make_data(300, 0.5, 11);
+  const auto a = bootstrap_single_vm(data);
+  const auto b = bootstrap_single_vm(data);
+  EXPECT_DOUBLE_EQ(a[0].coef[1].lo, b[0].coef[1].lo);
+  EXPECT_DOUBLE_EQ(a[0].coef[1].hi, b[0].coef[1].hi);
+}
+
+TEST(Bootstrap, RejectsTinyData) {
+  const TrainingSet data = make_data(5, 0.5, 13);
+  EXPECT_THROW((void)bootstrap_single_vm(data), util::ContractViolation);
+  BootstrapConfig cfg;
+  cfg.resamples = 5;
+  EXPECT_THROW((void)bootstrap_single_vm(make_data(100, 0.5, 13), cfg),
+               util::ContractViolation);
+}
+
+TEST(Bootstrap, TableRendersAllTargets) {
+  const auto diags = bootstrap_single_vm(make_data(200, 0.5, 17));
+  const std::string table = diagnostics_table(diags);
+  for (const char* name : {"PM CPU", "PM MEM", "PM I/O", "PM BW", "Dom0 CPU",
+                           "Hypervisor CPU"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(table.find("R^2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace voprof::model

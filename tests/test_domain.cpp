@@ -1,0 +1,182 @@
+#include "voprof/xensim/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/util/units.hpp"
+
+namespace voprof::sim {
+namespace {
+
+/// Test process with a fixed demand.
+class FixedProcess final : public GuestProcess {
+ public:
+  explicit FixedProcess(ProcessDemand d) : demand_(std::move(d)) {}
+  ProcessDemand demand(util::SimMicros, double) override { return demand_; }
+  void granted(double frac, util::SimMicros, double) override {
+    last_frac = frac;
+  }
+  void on_receive(double kbits, int tag, util::SimMicros) override {
+    received_kbits += kbits;
+    last_tag = tag;
+  }
+  std::string label() const override { return "fixed"; }
+
+  double last_frac = -1.0;
+  double received_kbits = 0.0;
+  int last_tag = -1;
+
+ private:
+  ProcessDemand demand_;
+};
+
+VmSpec test_spec() {
+  VmSpec s;
+  s.name = "vm1";
+  return s;
+}
+
+TEST(DomU, StartsWithOsBaseMemory) {
+  const DomU vm(test_spec());
+  EXPECT_DOUBLE_EQ(vm.counters().mem_mib, test_spec().os_base_mem_mib);
+}
+
+TEST(DomU, AggregatesProcessDemands) {
+  DomU vm(test_spec());
+  ProcessDemand d1;
+  d1.cpu_pct = 20.0;
+  d1.io_blocks = 0.1;
+  ProcessDemand d2;
+  d2.cpu_pct = 15.0;
+  d2.mem_mib = 30.0;
+  vm.attach(std::make_unique<FixedProcess>(d1));
+  vm.attach(std::make_unique<FixedProcess>(d2));
+  const ProcessDemand total = vm.collect_demand(0, 0.01);
+  EXPECT_DOUBLE_EQ(total.cpu_pct, 35.0);
+  EXPECT_DOUBLE_EQ(total.mem_mib, 30.0);
+  EXPECT_DOUBLE_EQ(total.io_blocks, 0.1);
+}
+
+TEST(DomU, CpuDemandClampedToVcpuCapacity) {
+  DomU vm(test_spec());
+  ProcessDemand d;
+  d.cpu_pct = 250.0;
+  vm.attach(std::make_unique<FixedProcess>(d));
+  EXPECT_DOUBLE_EQ(vm.collect_demand(0, 0.01).cpu_pct, 100.0);
+}
+
+TEST(DomU, IoCapEnforcedAtFrontend) {
+  // Paper: "maximum I/O capacity limit of about 90 blocks/s".
+  DomU vm(test_spec());
+  ProcessDemand d;
+  d.io_blocks = 500.0 * 0.01;  // 500 blocks/s over a 10 ms tick
+  vm.attach(std::make_unique<FixedProcess>(d));
+  const ProcessDemand total = vm.collect_demand(0, 0.01);
+  EXPECT_DOUBLE_EQ(total.io_blocks, 90.0 * 0.01);
+}
+
+TEST(DomU, GrantPropagatesFraction) {
+  DomU vm(test_spec());
+  ProcessDemand d;
+  d.cpu_pct = 50.0;
+  auto proc = std::make_unique<FixedProcess>(d);
+  FixedProcess* raw = proc.get();
+  vm.attach(std::move(proc));
+  (void)vm.collect_demand(0, 0.01);
+  vm.grant(0.8, 0, 0.01);
+  EXPECT_DOUBLE_EQ(raw->last_frac, 0.8);
+}
+
+TEST(DomU, DeliverReachesProcessesAndRxCounter) {
+  DomU vm(test_spec());
+  auto proc = std::make_unique<FixedProcess>(ProcessDemand{});
+  FixedProcess* raw = proc.get();
+  vm.attach(std::move(proc));
+  vm.deliver(12.5, 7, 0);
+  EXPECT_DOUBLE_EQ(raw->received_kbits, 12.5);
+  EXPECT_EQ(raw->last_tag, 7);
+  EXPECT_DOUBLE_EQ(vm.counters().rx_kbits, 12.5);
+}
+
+TEST(DomU, SharedAttachAndDetach) {
+  DomU vm(test_spec());
+  FixedProcess shared{ProcessDemand{}};
+  vm.attach_shared(&shared);
+  EXPECT_EQ(vm.process_count(), 1u);
+  EXPECT_TRUE(vm.detach_shared(&shared));
+  EXPECT_EQ(vm.process_count(), 0u);
+  EXPECT_FALSE(vm.detach_shared(&shared));
+}
+
+TEST(DomU, RefreshMemoryClampsToConfiguredRam) {
+  DomU vm(test_spec());
+  ProcessDemand d;
+  d.mem_mib = 10000.0;
+  vm.attach(std::make_unique<FixedProcess>(d));
+  (void)vm.collect_demand(0, 0.01);
+  vm.refresh_memory();
+  EXPECT_DOUBLE_EQ(vm.counters().mem_mib, test_spec().mem_mib);
+}
+
+TEST(DomU, RefreshMemoryAddsProcessFootprint) {
+  DomU vm(test_spec());
+  ProcessDemand d;
+  d.mem_mib = 50.0;
+  vm.attach(std::make_unique<FixedProcess>(d));
+  (void)vm.collect_demand(0, 0.01);
+  vm.refresh_memory();
+  EXPECT_DOUBLE_EQ(vm.counters().mem_mib,
+                   test_spec().os_base_mem_mib + 50.0);
+}
+
+TEST(Domain, CpuChargeAccumulatesCoreSeconds) {
+  DomU vm(test_spec());
+  vm.charge_cpu(50.0, 1.0);  // 50 % for 1 s
+  vm.charge_cpu(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(vm.counters().cpu_core_seconds, 1.0);
+}
+
+TEST(Dom0, BackgroundCpuRegistry) {
+  Dom0 dom0(752.0);
+  EXPECT_DOUBLE_EQ(dom0.background_cpu_pct(), 0.0);
+  const int a = dom0.add_background_cpu(0.45);
+  const int b = dom0.add_background_cpu(1.0);
+  EXPECT_DOUBLE_EQ(dom0.background_cpu_pct(), 1.45);
+  dom0.remove_background_cpu(a);
+  EXPECT_DOUBLE_EQ(dom0.background_cpu_pct(), 1.0);
+  dom0.remove_background_cpu(b);
+  dom0.remove_background_cpu(b);  // idempotent
+  EXPECT_DOUBLE_EQ(dom0.background_cpu_pct(), 0.0);
+}
+
+TEST(Dom0, RejectsNegativeBackground) {
+  Dom0 dom0(752.0);
+  EXPECT_THROW((void)dom0.add_background_cpu(-0.1), util::ContractViolation);
+}
+
+TEST(Dom0, HasXenServerMemoryFootprint) {
+  const Dom0 dom0(752.0);
+  EXPECT_DOUBLE_EQ(dom0.counters().mem_mib, 752.0);
+  EXPECT_EQ(dom0.name(), "Domain-0");
+}
+
+TEST(ProcessDemand, PlusEqualsMergesFlows) {
+  ProcessDemand a;
+  a.flows.push_back(NetFlow{1.0, NetTarget{}, 0});
+  ProcessDemand b;
+  b.cpu_pct = 5.0;
+  b.flows.push_back(NetFlow{2.0, NetTarget{}, 0});
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cpu_pct, 5.0);
+  EXPECT_EQ(a.flows.size(), 2u);
+}
+
+TEST(NetTarget, ExternalDetection) {
+  EXPECT_TRUE(NetTarget{}.is_external());
+  EXPECT_FALSE((NetTarget{0, "vm"}).is_external());
+}
+
+}  // namespace
+}  // namespace voprof::sim

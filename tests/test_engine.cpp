@@ -1,0 +1,139 @@
+#include "voprof/xensim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/util/units.hpp"
+
+namespace voprof::sim {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+class CountingListener final : public TickListener {
+ public:
+  void tick(util::SimMicros now, double dt) override {
+    ++ticks;
+    total_dt += dt;
+    last_now = now;
+  }
+  int ticks = 0;
+  double total_dt = 0.0;
+  util::SimMicros last_now = 0;
+};
+
+TEST(Engine, TicksCoverRequestedSpan) {
+  Engine engine(milliseconds(10));
+  CountingListener l;
+  engine.add_listener(&l);
+  engine.run_for(seconds(1));
+  EXPECT_EQ(l.ticks, 100);
+  EXPECT_NEAR(l.total_dt, 1.0, 1e-9);
+  EXPECT_EQ(l.last_now, seconds(1));
+  EXPECT_EQ(engine.now(), seconds(1));
+}
+
+TEST(Engine, PartialTickAtBoundary) {
+  Engine engine(milliseconds(10));
+  CountingListener l;
+  engine.add_listener(&l);
+  engine.run_for(milliseconds(25));
+  EXPECT_EQ(l.ticks, 3);  // 10 + 10 + 5 ms
+  EXPECT_NEAR(l.total_dt, 0.025, 1e-12);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(milliseconds(30), [&order] { order.push_back(3); });
+  engine.schedule_at(milliseconds(10), [&order] { order.push_back(1); });
+  engine.schedule_at(milliseconds(20), [&order] { order.push_back(2); });
+  engine.run_for(milliseconds(50));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EqualTimeEventsFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(milliseconds(10), [&order, i] { order.push_back(i); });
+  }
+  engine.run_for(milliseconds(20));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, EventMayScheduleAnotherEvent) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(milliseconds(10), [&] {
+    ++fired;
+    engine.schedule_after(milliseconds(10), [&] { ++fired; });
+  });
+  engine.run_for(milliseconds(50));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ScheduleEveryRepeats) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_every(seconds(1), [&] { ++fired; });
+  engine.run_for(seconds(5));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Engine, PastSchedulingRejected) {
+  Engine engine;
+  engine.run_for(seconds(1));
+  EXPECT_THROW(engine.schedule_at(seconds(0), [] {}), util::ContractViolation);
+  EXPECT_THROW(engine.run_until(seconds(0)), util::ContractViolation);
+}
+
+TEST(Engine, EventBeforeTickAtSameBoundary) {
+  // An event at t fires before the tick ending at t is delivered.
+  Engine engine(milliseconds(10));
+  std::vector<std::string> order;
+  struct L final : TickListener {
+    std::vector<std::string>* order;
+    void tick(util::SimMicros, double) override { order->push_back("tick"); }
+  } l;
+  l.order = &order;
+  engine.add_listener(&l);
+  engine.schedule_at(milliseconds(10), [&order] { order.push_back("event"); });
+  engine.run_for(milliseconds(10));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "event");
+  EXPECT_EQ(order[1], "tick");
+}
+
+TEST(Engine, RemoveListenerStopsTicks) {
+  Engine engine(milliseconds(10));
+  CountingListener l;
+  engine.add_listener(&l);
+  engine.run_for(milliseconds(20));
+  engine.remove_listener(&l);
+  engine.run_for(milliseconds(20));
+  EXPECT_EQ(l.ticks, 2);
+}
+
+TEST(Engine, PendingEventCount) {
+  Engine engine;
+  EXPECT_EQ(engine.pending_events(), 0u);
+  engine.schedule_after(seconds(10), [] {});
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(Engine, RejectsBadConstruction) {
+  EXPECT_THROW(Engine(0), util::ContractViolation);
+  EXPECT_THROW(Engine(-5), util::ContractViolation);
+}
+
+TEST(Engine, NullListenerRejected) {
+  Engine engine;
+  EXPECT_THROW(engine.add_listener(nullptr), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace voprof::sim

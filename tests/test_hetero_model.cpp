@@ -1,0 +1,217 @@
+#include "voprof/core/hetero_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "voprof/core/hetero_trainer.hpp"
+#include "voprof/core/trainer.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/util/rng.hpp"
+
+namespace voprof::model {
+namespace {
+
+TypeObservation obs(UtilVec sum, int count) {
+  TypeObservation o;
+  o.sum = sum;
+  o.count = count;
+  return o;
+}
+
+TEST(HeteroRow, TotalsAndGrandSum) {
+  HeteroRow r;
+  r.types["a"] = obs(UtilVec{10, 20, 0, 100}, 1);
+  r.types["b"] = obs(UtilVec{30, 40, 5, 200}, 2);
+  EXPECT_EQ(r.total_vms(), 3);
+  const UtilVec g = r.grand_sum();
+  EXPECT_DOUBLE_EQ(g.cpu, 40.0);
+  EXPECT_DOUBLE_EQ(g.bw, 300.0);
+}
+
+TEST(HeteroTrainingSet, TypeNamesSortedUnion) {
+  HeteroTrainingSet data;
+  HeteroRow r1;
+  r1.types["zeta"] = obs({}, 1);
+  data.add(r1);
+  HeteroRow r2;
+  r2.types["alpha"] = obs({}, 1);
+  r2.types["zeta"] = obs({}, 1);
+  data.add(r2);
+  const auto names = data.type_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(HeteroTrainingSet, RejectsBadRows) {
+  HeteroTrainingSet data;
+  EXPECT_THROW(data.add(HeteroRow{}), util::ContractViolation);
+  HeteroRow r;
+  r.types["a"] = obs({}, -1);
+  EXPECT_THROW(data.add(r), util::ContractViolation);
+}
+
+/// Synthetic ground truth with per-type slopes: type A contributes
+/// 1.2x its CPU to PM CPU, type B 1.5x, plus a co-location term.
+HeteroTrainingSet synthetic(std::uint64_t seed) {
+  util::Rng rng(seed);
+  HeteroTrainingSet data;
+  const std::vector<std::vector<int>> mixes = {
+      {1, 0}, {0, 1}, {1, 1}, {2, 1}, {2, 2}};
+  for (const auto& mix : mixes) {
+    for (int i = 0; i < 150; ++i) {
+      HeteroRow r;
+      double pm_cpu = 20.0;  // intercept
+      UtilVec grand;
+      int total = 0;
+      if (mix[0] > 0) {
+        const UtilVec a{rng.uniform(0, 100.0 * mix[0]),
+                        rng.uniform(84.0, 134.0) * mix[0],
+                        rng.uniform(0, 90.0 * mix[0]),
+                        rng.uniform(0, 500.0 * mix[0])};
+        r.types["A"] = obs(a, mix[0]);
+        pm_cpu += 1.2 * a.cpu + 0.01 * a.bw;
+        grand += a;
+        total += mix[0];
+      }
+      if (mix[1] > 0) {
+        const UtilVec b{rng.uniform(0, 200.0 * mix[1]),
+                        rng.uniform(110.0, 180.0) * mix[1],
+                        rng.uniform(0, 180.0 * mix[1]),
+                        rng.uniform(0, 500.0 * mix[1])};
+        r.types["B"] = obs(b, mix[1]);
+        pm_cpu += 1.5 * b.cpu + 0.01 * b.bw;
+        grand += b;
+        total += mix[1];
+      }
+      const double alpha = MultiVmModel::alpha(total);
+      pm_cpu += alpha * (1.0 + 0.02 * grand.cpu);
+      r.pm = UtilVec{pm_cpu + rng.gaussian(0, 0.05), 752.0 + grand.mem,
+                     18.8 + 2.05 * grand.io, 2.0 + grand.bw};
+      r.dom0_cpu = 16.8 + 0.05 * grand.cpu + alpha * 0.6;
+      r.hyp_cpu = 3.0 + 0.03 * grand.cpu + alpha * 0.3;
+      data.add(std::move(r));
+    }
+  }
+  return data;
+}
+
+TEST(HeteroModel, RecoversPerTypeSlopes) {
+  const HeteroTrainingSet data = synthetic(5);
+  const HeteroModel m = HeteroModel::fit(data, RegressionMethod::kOls);
+  ASSERT_TRUE(m.trained());
+  ASSERT_EQ(m.types().size(), 2u);
+
+  // Pure type-A deployment vs pure type-B at the same utilization must
+  // predict different PM CPU (slopes 1.2 vs 1.5).
+  std::map<std::string, TypeObservation> a_only = {
+      {"A", obs(UtilVec{80, 84, 0, 0}, 1)}};
+  std::map<std::string, TypeObservation> b_only = {
+      {"B", obs(UtilVec{80, 110, 0, 0}, 1)}};
+  const double pa = m.predict(a_only).cpu;
+  const double pb = m.predict(b_only).cpu;
+  EXPECT_NEAR(pb - pa, 0.3 * 80.0, 2.0);
+}
+
+TEST(HeteroModel, PredictsMixedDeployments) {
+  const HeteroTrainingSet data = synthetic(6);
+  const HeteroModel m = HeteroModel::fit(data, RegressionMethod::kOls);
+  std::map<std::string, TypeObservation> mix = {
+      {"A", obs(UtilVec{120, 168, 0, 400}, 2)},
+      {"B", obs(UtilVec{150, 110, 0, 200}, 1)}};
+  const double truth = 20.0 + 1.2 * 120 + 0.01 * 400 + 1.5 * 150 +
+                       0.01 * 200 + 2.0 * (1.0 + 0.02 * 270);
+  EXPECT_NEAR(m.predict(mix).cpu, truth, 2.0);
+  // Indirect PM CPU = guest CPU + predicted Dom0 + hyp.
+  const double indirect = m.predict_pm_cpu_indirect(mix);
+  const double expected_overhead = (16.8 + 0.05 * 270 + 2 * 0.6) +
+                                   (3.0 + 0.03 * 270 + 2 * 0.3);
+  EXPECT_NEAR(indirect, 270.0 + expected_overhead, 2.5);
+}
+
+TEST(HeteroModel, UnknownTypeContributesOnlyToColocation) {
+  const HeteroTrainingSet data = synthetic(7);
+  const HeteroModel m = HeteroModel::fit(data, RegressionMethod::kOls);
+  std::map<std::string, TypeObservation> with_unknown = {
+      {"A", obs(UtilVec{50, 84, 0, 0}, 1)},
+      {"mystery", obs(UtilVec{50, 84, 0, 0}, 1)}};
+  std::map<std::string, TypeObservation> without = {
+      {"A", obs(UtilVec{50, 84, 0, 0}, 1)}};
+  // The unknown type has no slope block, but raises alpha and the
+  // alpha-scaled sum.
+  EXPECT_GT(m.predict(with_unknown).cpu, m.predict(without).cpu);
+}
+
+TEST(HeteroModel, UntrainedAndUnderfedRejected) {
+  const HeteroModel m;
+  EXPECT_THROW((void)m.predict({}), util::ContractViolation);
+  HeteroTrainingSet tiny;
+  HeteroRow r;
+  r.types["A"] = obs({}, 1);
+  tiny.add(r);
+  EXPECT_THROW((void)HeteroModel::fit(tiny, RegressionMethod::kOls),
+               util::ContractViolation);
+}
+
+// ------------------------------------------------ simulator-backed run
+TEST(HeteroTrainer, DefaultsAreConsistent) {
+  const HeteroTrainerConfig cfg = HeteroTrainerConfig::defaults();
+  ASSERT_EQ(cfg.types.size(), 2u);
+  EXPECT_EQ(cfg.types[0].name, "small");
+  EXPECT_EQ(cfg.types[1].spec.vcpus, 2);
+  for (const auto& mix : cfg.mixes) EXPECT_EQ(mix.size(), 2u);
+}
+
+TEST(HeteroTrainer, CollectRunProducesTypedRows) {
+  HeteroTrainerConfig cfg = HeteroTrainerConfig::defaults();
+  cfg.duration = util::seconds(10.0);
+  const HeteroTrainer trainer(cfg);
+  const HeteroTrainingSet run =
+      trainer.collect_run({1, 1}, wl::WorkloadKind::kCpu, 2);
+  EXPECT_EQ(run.size(), 10u);
+  for (const auto& r : run.rows()) {
+    ASSERT_EQ(r.types.size(), 2u);
+    EXPECT_EQ(r.types.at("small").count, 1);
+    EXPECT_EQ(r.types.at("large").count, 1);
+    // The large VM runs two workload instances at 60 % each.
+    EXPECT_NEAR(r.types.at("small").sum.cpu, 60.0, 6.0);
+    EXPECT_NEAR(r.types.at("large").sum.cpu, 120.0, 10.0);
+  }
+}
+
+TEST(HeteroTrainer, TypedModelBeatsHomogeneousOnMixedLoad) {
+  // Train both models on the simulator; evaluate on a mixed deployment
+  // neither saw. The homogeneous model must mis-handle the large VMs
+  // (its per-VM count assumption is wrong); the typed model should
+  // not.
+  HeteroTrainerConfig hcfg = HeteroTrainerConfig::defaults();
+  hcfg.duration = util::seconds(20.0);
+  const HeteroTrainer htrainer(hcfg);
+  const HeteroModel typed = htrainer.train(RegressionMethod::kLms);
+
+  TrainerConfig tcfg;
+  tcfg.duration = util::seconds(20.0);
+  tcfg.seed = 15;
+  const TrainedModels homog =
+      Trainer(tcfg).train(RegressionMethod::kLms);
+
+  // Validation: 2 small + 1 large VM, BW workload level 4.
+  const HeteroTrainingSet validation =
+      htrainer.collect_run({2, 1}, wl::WorkloadKind::kBw, 3);
+  double typed_err = 0.0, homog_err = 0.0;
+  for (const auto& r : validation.rows()) {
+    const double actual = r.pm.cpu;
+    typed_err +=
+        std::abs(typed.predict_pm_cpu_indirect(r.types) - actual) / actual;
+    homog_err += std::abs(homog.multi.predict_pm_cpu_indirect(
+                              r.grand_sum(), r.total_vms()) -
+                          actual) /
+                 actual;
+  }
+  typed_err /= static_cast<double>(validation.size());
+  homog_err /= static_cast<double>(validation.size());
+  EXPECT_LT(typed_err, 0.06);
+  EXPECT_LE(typed_err, homog_err + 0.01);
+}
+
+}  // namespace
+}  // namespace voprof::model

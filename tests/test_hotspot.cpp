@@ -1,0 +1,236 @@
+#include "voprof/placement/hotspot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/core/trainer.hpp"
+#include "voprof/rubis/deployment.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+
+namespace voprof::place {
+namespace {
+
+using util::seconds;
+
+class HotspotFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model::TrainerConfig c;
+    c.duration = seconds(20.0);
+    c.seed = 21;
+    models_ = new model::TrainedModels(
+        model::Trainer(c).train(model::RegressionMethod::kLms));
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    models_ = nullptr;
+  }
+  static model::TrainedModels* models_;
+};
+
+model::TrainedModels* HotspotFixture::models_ = nullptr;
+
+struct Bed {
+  sim::Engine engine;
+  std::unique_ptr<sim::Cluster> cluster;
+
+  explicit Bed(std::uint64_t seed, int pms = 2) {
+    cluster = std::make_unique<sim::Cluster>(engine, sim::CostModel{}, seed);
+    for (int i = 0; i < pms; ++i) cluster->add_machine(sim::MachineSpec{});
+  }
+  sim::DomU& vm(int pm, const std::string& name, double cpu) {
+    sim::VmSpec spec;
+    spec.name = name;
+    sim::DomU& v = cluster->machine(static_cast<std::size_t>(pm)).add_vm(spec);
+    if (cpu > 0) {
+      v.attach(std::make_unique<wl::CpuHog>(cpu, 99));
+    }
+    return v;
+  }
+};
+
+TEST_F(HotspotFixture, DetectsAndMitigatesOverload) {
+  Bed bed(5);
+  // PM0: four hot VMs -> guest pool saturated, predicted PM CPU way
+  // over threshold. PM1: empty.
+  for (int i = 0; i < 4; ++i) {
+    bed.vm(0, "hot" + std::to_string(i), 80.0);
+  }
+  HotspotConfig cfg;
+  cfg.check_interval = seconds(5.0);
+  cfg.cpu_threshold_pct = 200.0;
+  HotspotController ctrl(*bed.cluster, &models_->multi, {0, 1}, cfg);
+  ctrl.start();
+  bed.engine.run_for(seconds(120.0));
+  ctrl.stop();
+
+  EXPECT_GE(ctrl.migrations_triggered(), 1u);
+  EXPECT_GE(bed.cluster->machine(1).vm_count(), 1u);
+  // Balanced enough that neither PM stays above threshold.
+  EXPECT_LE(ctrl.last_predicted_cpu(0), cfg.cpu_threshold_pct + 20.0);
+  for (const auto& a : ctrl.actions()) {
+    EXPECT_EQ(a.from_pm, 0);
+    EXPECT_EQ(a.to_pm, 1);
+    EXPECT_GT(a.predicted_cpu, cfg.cpu_threshold_pct);
+  }
+}
+
+TEST_F(HotspotFixture, QuietClusterTriggersNothing) {
+  Bed bed(6);
+  bed.vm(0, "calm1", 20.0);
+  bed.vm(1, "calm2", 20.0);
+  HotspotController ctrl(*bed.cluster, &models_->multi, {0, 1});
+  ctrl.start();
+  bed.engine.run_for(seconds(60.0));
+  EXPECT_EQ(ctrl.migrations_triggered(), 0u);
+}
+
+TEST_F(HotspotFixture, AwareTriggersWhereUnawareDoesNot) {
+  // Load where the raw VM sum sits below the threshold but the model
+  // (adding Dom0 + hypervisor) is above it: three network-heavy VMs.
+  auto build = [](Bed& bed) {
+    for (int i = 0; i < 3; ++i) {
+      sim::VmSpec spec;
+      spec.name = "web" + std::to_string(i);
+      sim::DomU& v = bed.cluster->machine(0).add_vm(spec);
+      v.attach(std::make_unique<wl::CpuHog>(55.0, 7));
+      v.attach(std::make_unique<wl::NetPing>(1280.0, sim::NetTarget{}, 8));
+    }
+  };
+  HotspotConfig cfg;
+  cfg.cpu_threshold_pct = 220.0;  // raw sum ~171 < 220 < modeled ~235
+  cfg.check_interval = seconds(5.0);
+
+  Bed aware_bed(7);
+  build(aware_bed);
+  cfg.overhead_aware = true;
+  HotspotController aware(*aware_bed.cluster, &models_->multi, {0, 1}, cfg);
+  aware.start();
+  aware_bed.engine.run_for(seconds(60.0));
+
+  Bed naive_bed(7);
+  build(naive_bed);
+  cfg.overhead_aware = false;
+  HotspotController naive(*naive_bed.cluster, nullptr, {0, 1}, cfg);
+  naive.start();
+  naive_bed.engine.run_for(seconds(60.0));
+
+  EXPECT_GE(aware.migrations_triggered(), 1u);
+  EXPECT_EQ(naive.migrations_triggered(), 0u);
+}
+
+TEST_F(HotspotFixture, CooldownPreventsThrashing) {
+  Bed bed(8);
+  for (int i = 0; i < 4; ++i) bed.vm(0, "hot" + std::to_string(i), 90.0);
+  HotspotConfig cfg;
+  cfg.check_interval = seconds(2.0);
+  cfg.cooldown = seconds(1000.0);  // each VM may move at most once
+  HotspotController ctrl(*bed.cluster, &models_->multi, {0, 1}, cfg);
+  ctrl.start();
+  bed.engine.run_for(seconds(120.0));
+  EXPECT_LE(ctrl.migrations_triggered(), 4u);
+}
+
+TEST_F(HotspotFixture, RubisThroughputRecoversAfterMitigation) {
+  auto run = [this](bool mitigate) {
+    Bed bed(9, 3);  // 2 hosts + client machine
+    // RUBiS web lands on PM0 with three 70 % hogs.
+    rubis::DeployOptions opt;
+    opt.clients = 500;
+    const rubis::RubisInstance inst =
+        rubis::deploy_rubis(*bed.cluster, 0, 1, 2, opt);
+    for (int i = 0; i < 3; ++i) bed.vm(0, "hog" + std::to_string(i), 70.0);
+
+    HotspotConfig cfg;
+    cfg.check_interval = seconds(5.0);
+    HotspotController ctrl(*bed.cluster, &models_->multi, {0, 1}, cfg);
+    if (mitigate) ctrl.start();
+    bed.engine.run_for(seconds(90.0));  // mitigation happens in here
+    const double mark = inst.client->completed();
+    bed.engine.run_for(seconds(30.0));
+    return (inst.client->completed() - mark) / 30.0;
+  };
+  const double without = run(false);
+  const double with = run(true);
+  EXPECT_GT(with, without * 1.1);  // >10 % throughput recovery
+  EXPECT_GT(with, 90.0);           // close to the uncontended ~99 req/s
+}
+
+TEST_F(HotspotFixture, ConsolidationDrainsQuietFleet) {
+  Bed bed(12, 3);
+  // Three lightly loaded VMs spread over three PMs.
+  bed.vm(0, "t1", 15.0);
+  bed.vm(1, "t2", 15.0);
+  bed.vm(2, "t3", 15.0);
+  HotspotConfig cfg;
+  cfg.check_interval = seconds(5.0);
+  cfg.consolidate = true;
+  cfg.consolidate_below_pct = 120.0;
+  HotspotController ctrl(*bed.cluster, &models_->multi, {0, 1, 2}, cfg);
+  ctrl.start();
+  bed.engine.run_for(seconds(180.0));
+  ctrl.stop();
+  // The fleet packs onto fewer hosts.
+  int empty_hosts = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (bed.cluster->machine(i).vm_count() == 0) ++empty_hosts;
+  }
+  EXPECT_GE(empty_hosts, 1);
+  bool saw_consolidation = false;
+  for (const auto& a : ctrl.actions()) {
+    if (a.kind == HotspotAction::Kind::kConsolidation) {
+      saw_consolidation = true;
+    }
+  }
+  EXPECT_TRUE(saw_consolidation);
+}
+
+TEST_F(HotspotFixture, ConsolidationRespectsThreshold) {
+  Bed bed(13, 2);
+  // Both PMs moderately loaded: packing them together would cross the
+  // hotspot threshold, so consolidation must refuse.
+  for (int i = 0; i < 2; ++i) bed.vm(0, "a" + std::to_string(i), 60.0);
+  for (int i = 0; i < 2; ++i) bed.vm(1, "b" + std::to_string(i), 60.0);
+  HotspotConfig cfg;
+  cfg.check_interval = seconds(5.0);
+  cfg.cpu_threshold_pct = 200.0;
+  cfg.consolidate = true;
+  cfg.consolidate_below_pct = 200.0;
+  HotspotController ctrl(*bed.cluster, &models_->multi, {0, 1}, cfg);
+  ctrl.start();
+  bed.engine.run_for(seconds(120.0));
+  ctrl.stop();
+  // 4 x 60 = 240 raw guest CPU + overhead > 200: no consolidation.
+  EXPECT_EQ(bed.cluster->machine(0).vm_count(), 2u);
+  EXPECT_EQ(bed.cluster->machine(1).vm_count(), 2u);
+}
+
+TEST_F(HotspotFixture, ConsolidationOffByDefault) {
+  Bed bed(14, 2);
+  bed.vm(0, "t1", 10.0);
+  bed.vm(1, "t2", 10.0);
+  HotspotController ctrl(*bed.cluster, &models_->multi, {0, 1});
+  ctrl.start();
+  bed.engine.run_for(seconds(60.0));
+  EXPECT_EQ(ctrl.migrations_triggered(), 0u);
+}
+
+TEST_F(HotspotFixture, InvalidConstructionRejected) {
+  Bed bed(10);
+  EXPECT_THROW(HotspotController(*bed.cluster, &models_->multi, {}),
+               util::ContractViolation);
+  EXPECT_THROW(HotspotController(*bed.cluster, &models_->multi, {0, 42}),
+               util::ContractViolation);
+  HotspotConfig aware_cfg;
+  aware_cfg.overhead_aware = true;
+  EXPECT_THROW(HotspotController(*bed.cluster, nullptr, {0, 1}, aware_cfg),
+               util::ContractViolation);
+  HotspotController ok(*bed.cluster, &models_->multi, {0, 1});
+  ok.start();
+  EXPECT_THROW(ok.start(), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace voprof::place

@@ -1,0 +1,198 @@
+#include "voprof/xensim/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/monitor/sample.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::sim {
+namespace {
+
+using util::seconds;
+
+struct Testbed {
+  Engine engine;
+  std::unique_ptr<Cluster> cluster;
+  PhysicalMachine* pm0 = nullptr;
+  PhysicalMachine* pm1 = nullptr;
+
+  explicit Testbed(std::uint64_t seed = 77) {
+    cluster = std::make_unique<Cluster>(engine, CostModel{}, seed);
+    pm0 = &cluster->add_machine(MachineSpec{});
+    pm1 = &cluster->add_machine(MachineSpec{});
+  }
+
+  DomU& vm(PhysicalMachine& pm, const std::string& name) {
+    VmSpec spec;
+    spec.name = name;
+    return pm.add_vm(spec);
+  }
+};
+
+TEST(Migration, MovesVmToDestination) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1").attach(std::make_unique<wl::CpuHog>(40.0, 3));
+  const int id = t.cluster->migration().start("vm1", 0, 1);
+  t.engine.run_for(seconds(30));
+  const MigrationStatus& st = t.cluster->migration().status(id);
+  EXPECT_TRUE(st.done);
+  EXPECT_FALSE(st.failed);
+  EXPECT_EQ(t.pm0->find_vm("vm1"), nullptr);
+  ASSERT_NE(t.pm1->find_vm("vm1"), nullptr);
+  EXPECT_EQ(t.cluster->migration().active_count(), 0u);
+}
+
+TEST(Migration, VmKeepsRunningDuringPreCopy) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1").attach(std::make_unique<wl::CpuHog>(60.0, 3));
+  MigrationConfig slow;
+  slow.rate_kbps = 20000.0;  // stretch the copy over many seconds
+  (void)t.cluster->migration().start("vm1", 0, 1, slow);
+  const auto before = t.pm0->snapshot(t.engine.now());
+  t.engine.run_for(seconds(5));
+  const auto after = t.pm0->snapshot(t.engine.now());
+  const double cpu = mon::domain_util(before.guest("vm1").counters,
+                                      after.guest("vm1").counters, 5.0)
+                         .cpu_pct;
+  EXPECT_NEAR(cpu, 60.0, 3.0);  // still scheduled on the source
+}
+
+TEST(Migration, TransferChargesDom0AndNics) {
+  Testbed idle_t(101), mig_t(101);
+  idle_t.vm(*idle_t.pm0, "vm1");
+  mig_t.vm(*mig_t.pm0, "vm1");
+
+  MigrationConfig cfg;
+  cfg.rate_kbps = 50000.0;
+  (void)mig_t.cluster->migration().start("vm1", 0, 1, cfg);
+
+  auto dom0_cpu_and_nic = [](Testbed& t) {
+    const auto b0 = t.pm0->snapshot(t.engine.now());
+    const auto b1 = t.pm1->snapshot(t.engine.now());
+    t.engine.run_for(seconds(5));
+    const auto a0 = t.pm0->snapshot(t.engine.now());
+    const auto a1 = t.pm1->snapshot(t.engine.now());
+    return std::tuple<double, double, double>(
+        mon::domain_util(b0.dom0.counters, a0.dom0.counters, 5.0).cpu_pct,
+        mon::device_util(b0.devices, a0.devices, 5.0).nic_kbps,
+        mon::device_util(b1.devices, a1.devices, 5.0).nic_kbps);
+  };
+  const auto [idle_dom0, idle_nic0, idle_nic1] = dom0_cpu_and_nic(idle_t);
+  const auto [mig_dom0, mig_nic0, mig_nic1] = dom0_cpu_and_nic(mig_t);
+
+  // Source Dom0 pays netback CPU for the page stream (~0.0105 %/Kbps
+  // on 50 Mb/s would exceed its cores; it saturates at the Dom0 cap).
+  EXPECT_GT(mig_dom0, idle_dom0 + 50.0);
+  // Both NICs carry the stream.
+  EXPECT_NEAR(mig_nic0 - idle_nic0, 50000.0, 2000.0);
+  EXPECT_NEAR(mig_nic1 - idle_nic1, 50000.0, 2000.0);
+}
+
+TEST(Migration, ProgressIsMonotoneAndBounded) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1");
+  MigrationConfig cfg;
+  cfg.rate_kbps = 30000.0;
+  const int id = t.cluster->migration().start("vm1", 0, 1, cfg);
+  double prev = 0.0;
+  for (int step = 0; step < 10; ++step) {
+    t.engine.run_for(seconds(1));
+    const double p = t.cluster->migration().status(id).progress();
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    prev = p;
+  }
+}
+
+TEST(Migration, TotalBytesMatchMemoryTimesDirtyFactor) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1");
+  t.engine.run_for(seconds(1));  // memory gauge settles at the OS base
+  MigrationConfig cfg;
+  cfg.dirty_factor = 0.25;
+  const int id = t.cluster->migration().start("vm1", 0, 1, cfg);
+  const double expected = VmSpec{}.os_base_mem_mib * 1024.0 * 8.0 * 1.25;
+  EXPECT_NEAR(t.cluster->migration().status(id).total_kbits, expected, 1.0);
+}
+
+TEST(Migration, TrafficFollowsTheVm) {
+  Testbed t;
+  t.vm(*t.pm0, "server");
+  PhysicalMachine& pm2 = t.cluster->add_machine(MachineSpec{});
+  t.vm(pm2, "client")
+      .attach(std::make_unique<wl::NetPing>(
+          320.0, NetTarget{0, "server"}, 5));  // addressed to PM0!
+  t.engine.run_for(seconds(5));
+  (void)t.cluster->migration().start("server", 0, 1);
+  t.engine.run_for(seconds(30));
+  // Server now lives on PM1; the router relocated the old address.
+  ASSERT_NE(t.pm1->find_vm("server"), nullptr);
+  const auto before = t.pm1->snapshot(t.engine.now());
+  t.engine.run_for(seconds(5));
+  const auto after = t.pm1->snapshot(t.engine.now());
+  const double rx = mon::domain_util(before.guest("server").counters,
+                                     after.guest("server").counters, 5.0)
+                        .bw_kbps;
+  EXPECT_NEAR(rx, 320.0, 20.0);
+  EXPECT_DOUBLE_EQ(t.cluster->dropped_kbits(), 0.0);
+}
+
+TEST(Migration, FailsWhenVmDestroyedMidCopy) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1");
+  MigrationConfig cfg;
+  cfg.rate_kbps = 5000.0;  // slow
+  const int id = t.cluster->migration().start("vm1", 0, 1, cfg);
+  t.engine.run_for(seconds(2));
+  EXPECT_TRUE(t.pm0->remove_vm("vm1"));
+  t.engine.run_for(seconds(2));
+  const MigrationStatus& st = t.cluster->migration().status(id);
+  EXPECT_TRUE(st.done);
+  EXPECT_TRUE(st.failed);
+}
+
+TEST(Migration, CompletionCallbackFires) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1");
+  int completed_id = -1;
+  t.cluster->migration().on_complete([&](int id) { completed_id = id; });
+  const int id = t.cluster->migration().start("vm1", 0, 1);
+  t.engine.run_for(seconds(30));
+  EXPECT_EQ(completed_id, id);
+}
+
+TEST(Migration, InvalidRequestsRejected) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1");
+  auto& mig = t.cluster->migration();
+  EXPECT_THROW((void)mig.start("vm1", 0, 0), util::ContractViolation);
+  EXPECT_THROW((void)mig.start("ghost", 0, 1), util::ContractViolation);
+  EXPECT_THROW((void)mig.start("vm1", 0, 42), util::ContractViolation);
+  t.vm(*t.pm1, "vm1x");
+  (void)mig.start("vm1", 0, 1);
+  EXPECT_THROW((void)mig.start("vm1", 0, 1), util::ContractViolation);
+  EXPECT_THROW((void)mig.status(99), util::ContractViolation);
+}
+
+TEST(Migration, ExtractAdoptRoundTrip) {
+  Testbed t;
+  t.vm(*t.pm0, "vm1").attach(std::make_unique<wl::CpuHog>(30.0, 3));
+  t.engine.run_for(seconds(2));
+  std::unique_ptr<DomU> vm = t.pm0->extract_vm("vm1");
+  ASSERT_NE(vm, nullptr);
+  EXPECT_EQ(t.pm0->vm_count(), 0u);
+  // Counters survive the move.
+  EXPECT_GT(vm->counters().cpu_core_seconds, 0.0);
+  t.pm1->adopt_vm(std::move(vm));
+  EXPECT_EQ(t.pm1->vm_count(), 1u);
+  t.engine.run_for(seconds(2));
+  EXPECT_NEAR(t.pm1->last_granted_pct("vm1"), 30.0, 2.0);
+  EXPECT_EQ(t.pm0->extract_vm("ghost"), nullptr);
+}
+
+}  // namespace
+}  // namespace voprof::sim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/core/predictor.hpp"
+#include "voprof/core/trainer.hpp"
+#include "voprof/monitor/script.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::wl {
+namespace {
+
+using util::seconds;
+
+MixedWorkload::Levels typical() {
+  MixedWorkload::Levels l;
+  l.cpu_pct = 40.0;
+  l.mem_mib = 30.0;
+  l.io_blocks_per_s = 25.0;
+  l.bw_kbps = 500.0;
+  return l;
+}
+
+TEST(MixedWorkload, DemandCombinesAllResources) {
+  MixedWorkload w(typical(), sim::NetTarget{}, 3);
+  const sim::ProcessDemand d = w.demand(0, 0.01);
+  // CPU = own 40 + io pump + bw pump.
+  const double side =
+      IoHog::pump_cpu_pct(25.0) + NetPing::pump_cpu_pct(500.0);
+  EXPECT_NEAR(d.cpu_pct, 40.0 + side, 2.0);
+  EXPECT_DOUBLE_EQ(d.mem_mib, 30.0);
+  EXPECT_NEAR(d.io_blocks, 0.25, 1e-9);
+  ASSERT_EQ(d.flows.size(), 1u);
+  EXPECT_NEAR(d.flows[0].kbits, 5.0, 1e-9);
+}
+
+TEST(MixedWorkload, ZeroLevelsAreInert) {
+  MixedWorkload w(MixedWorkload::Levels{}, sim::NetTarget{}, 3);
+  const sim::ProcessDemand d = w.demand(0, 0.01);
+  EXPECT_LT(d.cpu_pct, 2.0);
+  EXPECT_TRUE(d.flows.empty());
+  EXPECT_DOUBLE_EQ(d.io_blocks, 0.0);
+}
+
+TEST(MixedWorkload, RejectsBadLevels) {
+  MixedWorkload::Levels bad;
+  bad.cpu_pct = 150.0;
+  EXPECT_THROW(MixedWorkload(bad, sim::NetTarget{}),
+               util::ContractViolation);
+  MixedWorkload::Levels bad2;
+  bad2.io_blocks_per_s = -1.0;
+  EXPECT_THROW(MixedWorkload(bad2, sim::NetTarget{}),
+               util::ContractViolation);
+}
+
+TEST(MixedWorkload, MeasuredUtilizationMatchesLevels) {
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 17);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  sim::VmSpec spec;
+  spec.name = "vm1";
+  pm.add_vm(spec).attach(
+      std::make_unique<MixedWorkload>(typical(), sim::NetTarget{}, 19));
+  mon::MonitorScript mon(engine, pm);
+  const mon::MeasurementReport& r = mon.measure(seconds(30));
+  const mon::UtilSample u = r.mean("vm1");
+  EXPECT_NEAR(u.io_blocks_per_s, 25.0, 2.0);
+  EXPECT_NEAR(u.bw_kbps, 500.0, 10.0);
+  EXPECT_NEAR(u.mem_mib, sim::VmSpec{}.os_base_mem_mib + 30.0, 2.0);
+  EXPECT_GT(u.cpu_pct, 40.0);  // includes pump costs
+}
+
+TEST(MixedWorkload, ModelGeneralizesFromSingleResourceTraining) {
+  // The Sec. V models are trained on isolated sweeps; a composite
+  // workload must still be predicted at paper-grade accuracy — this
+  // is the implicit assumption behind applying the model to RUBiS.
+  model::TrainerConfig cfg;
+  cfg.duration = seconds(20.0);
+  cfg.seed = 23;
+  const model::TrainedModels models =
+      model::Trainer(cfg).train(model::RegressionMethod::kLms);
+
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 29);
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  for (int i = 0; i < 2; ++i) {
+    sim::VmSpec spec;
+    spec.name = "vm" + std::to_string(i + 1);
+    pm.add_vm(spec).attach(std::make_unique<MixedWorkload>(
+        typical(), sim::NetTarget{}, 31 + static_cast<std::uint64_t>(i)));
+  }
+  mon::MonitorScript mon(engine, pm);
+  const mon::MeasurementReport& report = mon.measure(seconds(40));
+  const model::Predictor predictor(models.multi);
+  const model::PredictionEval eval =
+      predictor.evaluate(report, {"vm1", "vm2"});
+  EXPECT_LT(eval.of(model::MetricIndex::kCpu).error_at_fraction(0.9), 6.0);
+  EXPECT_LT(eval.of(model::MetricIndex::kIo).error_at_fraction(0.9), 6.0);
+  EXPECT_LT(eval.of(model::MetricIndex::kBw).error_at_fraction(0.9), 3.0);
+}
+
+}  // namespace
+}  // namespace voprof::wl

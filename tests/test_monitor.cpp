@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/monitor/sample.hpp"
+#include "voprof/monitor/script.hpp"
+#include "voprof/monitor/tools.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::mon {
+namespace {
+
+using sim::Cluster;
+using sim::CostModel;
+using sim::DomU;
+using sim::Engine;
+using sim::MachineSpec;
+using sim::PhysicalMachine;
+using sim::VmSpec;
+using util::seconds;
+
+struct Testbed {
+  Engine engine;
+  std::unique_ptr<Cluster> cluster;
+  PhysicalMachine* pm = nullptr;
+
+  explicit Testbed(std::uint64_t seed = 9) {
+    cluster = std::make_unique<Cluster>(engine, CostModel{}, seed);
+    pm = &cluster->add_machine(MachineSpec{});
+  }
+  DomU& vm(const std::string& name) {
+    VmSpec spec;
+    spec.name = name;
+    return pm->add_vm(spec);
+  }
+};
+
+TEST(SampleMath, DomainUtilFromDeltas) {
+  sim::DomainCounters prev, cur;
+  cur.cpu_core_seconds = 0.5;   // 50 % over 1 s
+  cur.io_blocks = 30.0;
+  cur.tx_kbits = 100.0;
+  cur.rx_kbits = 20.0;
+  cur.mem_mib = 84.0;
+  const UtilSample u = domain_util(prev, cur, 1.0);
+  EXPECT_DOUBLE_EQ(u.cpu_pct, 50.0);
+  EXPECT_DOUBLE_EQ(u.io_blocks_per_s, 30.0);
+  EXPECT_DOUBLE_EQ(u.bw_kbps, 120.0);
+  EXPECT_DOUBLE_EQ(u.mem_mib, 84.0);
+  EXPECT_THROW((void)domain_util(prev, cur, 0.0), util::ContractViolation);
+}
+
+// --------------------------- Table I capability matrix, tool by tool
+TEST(TableI, XenTopCapabilities) {
+  const XenTop t;
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kCpu));
+  EXPECT_FALSE(t.can_measure(EntityClass::kVm, Metric::kMem));
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kIo));
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kBw));
+  EXPECT_TRUE(t.can_measure(EntityClass::kDom0, Metric::kCpu));
+  EXPECT_FALSE(t.can_measure(EntityClass::kDom0, Metric::kMem));
+  EXPECT_FALSE(t.can_measure(EntityClass::kPmOrHypervisor, Metric::kCpu));
+  EXPECT_EQ(t.info().name, "xentop");
+  EXPECT_EQ(t.info().host, ToolHost::kDom0);
+}
+
+TEST(TableI, TopCapabilities) {
+  const TopTool t;
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kCpu));
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kMem));
+  EXPECT_FALSE(t.can_measure(EntityClass::kVm, Metric::kIo));
+  EXPECT_FALSE(t.can_measure(EntityClass::kVm, Metric::kBw));
+  EXPECT_TRUE(t.can_measure(EntityClass::kDom0, Metric::kMem));
+  EXPECT_FALSE(t.can_measure(EntityClass::kPmOrHypervisor, Metric::kCpu));
+  EXPECT_EQ(t.info().host, ToolHost::kGuest);
+}
+
+TEST(TableI, MpStatCapabilities) {
+  const MpStat t;
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kCpu));
+  EXPECT_TRUE(t.can_measure(EntityClass::kPmOrHypervisor, Metric::kCpu));
+  EXPECT_FALSE(t.can_measure(EntityClass::kDom0, Metric::kCpu));
+  EXPECT_FALSE(t.can_measure(EntityClass::kVm, Metric::kMem));
+}
+
+TEST(TableI, IfConfigCapabilities) {
+  const IfConfig t;
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kBw));
+  EXPECT_TRUE(t.can_measure(EntityClass::kPmOrHypervisor, Metric::kBw));
+  EXPECT_FALSE(t.can_measure(EntityClass::kVm, Metric::kCpu));
+  EXPECT_FALSE(t.can_measure(EntityClass::kDom0, Metric::kBw));
+}
+
+TEST(TableI, VmStatCapabilities) {
+  const VmStat t;
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kCpu));
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kMem));
+  EXPECT_TRUE(t.can_measure(EntityClass::kVm, Metric::kIo));
+  EXPECT_FALSE(t.can_measure(EntityClass::kVm, Metric::kBw));
+  EXPECT_TRUE(t.can_measure(EntityClass::kDom0, Metric::kMem));
+  EXPECT_TRUE(t.can_measure(EntityClass::kPmOrHypervisor, Metric::kCpu));
+  EXPECT_TRUE(t.can_measure(EntityClass::kPmOrHypervisor, Metric::kIo));
+  EXPECT_FALSE(t.can_measure(EntityClass::kPmOrHypervisor, Metric::kBw));
+}
+
+TEST(TableI, UnsupportedCellsReturnNullopt) {
+  Testbed t;
+  t.vm("vm1");
+  const auto s0 = t.pm->snapshot(t.engine.now());
+  t.engine.run_for(seconds(1));
+  const auto s1 = t.pm->snapshot(t.engine.now());
+  const XenTop xentop;
+  EXPECT_FALSE(xentop.read_vm(s0, s1, "vm1", Metric::kMem).has_value());
+  EXPECT_FALSE(xentop.read_pm(s0, s1, Metric::kCpu).has_value());
+  const IfConfig ifconfig;
+  EXPECT_FALSE(ifconfig.read_vm(s0, s1, "vm1", Metric::kCpu).has_value());
+}
+
+TEST(Tools, ReadValuesMatchCounters) {
+  Testbed t;
+  t.vm("vm1").attach(std::make_unique<wl::CpuHog>(40.0, 3));
+  const auto s0 = t.pm->snapshot(t.engine.now());
+  t.engine.run_for(seconds(10));
+  const auto s1 = t.pm->snapshot(t.engine.now());
+  const XenTop xentop;
+  EXPECT_NEAR(xentop.read_vm(s0, s1, "vm1", Metric::kCpu).value(), 40.0, 2.0);
+  const MpStat mpstat;
+  EXPECT_GT(mpstat.read_pm(s0, s1, Metric::kCpu).value(), 2.0);
+  const VmStat vmstat;
+  // PM CPU = Dom0 + hypervisor + guests (the paper's indirect sum).
+  const double pm_cpu = vmstat.read_pm(s0, s1, Metric::kCpu).value();
+  const double parts =
+      xentop.read_dom0(s0, s1, Metric::kCpu).value() +
+      mpstat.read_pm(s0, s1, Metric::kCpu).value() +
+      xentop.read_vm(s0, s1, "vm1", Metric::kCpu).value();
+  EXPECT_NEAR(pm_cpu, parts, 1e-9);
+}
+
+TEST(MonitorScript, CollectsExpectedSampleCount) {
+  Testbed t;
+  t.vm("vm1");
+  MonitorScript mon(t.engine, *t.pm);
+  const MeasurementReport& report = mon.measure(seconds(120));
+  EXPECT_EQ(report.sample_count(), 120u);
+  EXPECT_TRUE(report.has("vm1"));
+  EXPECT_TRUE(report.has(MeasurementReport::kDom0Key));
+  EXPECT_TRUE(report.has(MeasurementReport::kHypKey));
+  EXPECT_TRUE(report.has(MeasurementReport::kPmKey));
+}
+
+TEST(MonitorScript, MeasuredDom0BaseIncludesScriptOverhead) {
+  // Paper's 16.8 % Dom0 reading = 16.35 % base + the script's tools.
+  Testbed t;
+  t.vm("vm1");
+  MonitorScript mon(t.engine, *t.pm);
+  const MeasurementReport& report = mon.measure(seconds(60));
+  EXPECT_NEAR(report.mean(MeasurementReport::kDom0Key).cpu_pct, 16.8, 0.3);
+}
+
+TEST(MonitorScript, OverheadInjectionCanBeDisabled) {
+  Testbed t1(7), t2(7);
+  t1.vm("vm1");
+  t2.vm("vm1");
+  MonitorConfig with;
+  with.inject_overhead = true;
+  MonitorConfig without;
+  without.inject_overhead = false;
+  MonitorScript m1(t1.engine, *t1.pm, with);
+  MonitorScript m2(t2.engine, *t2.pm, without);
+  const double cpu_with =
+      m1.measure(seconds(60)).mean(MeasurementReport::kDom0Key).cpu_pct;
+  const double cpu_without =
+      m2.measure(seconds(60)).mean(MeasurementReport::kDom0Key).cpu_pct;
+  EXPECT_NEAR(cpu_with - cpu_without, m1.dom0_overhead_pct(), 0.2);
+  EXPECT_GT(m1.dom0_overhead_pct(), 0.3);
+  EXPECT_GT(m1.guest_overhead_pct(), 0.0);
+}
+
+TEST(MonitorScript, PmMemoryIsDom0PlusGuests) {
+  Testbed t;
+  t.vm("vm1");
+  t.vm("vm2");
+  MonitorScript mon(t.engine, *t.pm);
+  const MeasurementReport& report = mon.measure(seconds(30));
+  const double pm_mem = report.mean(MeasurementReport::kPmKey).mem_mib;
+  const double parts = report.mean(MeasurementReport::kDom0Key).mem_mib +
+                       report.mean("vm1").mem_mib +
+                       report.mean("vm2").mem_mib;
+  EXPECT_NEAR(pm_mem, parts, 1e-6);
+}
+
+TEST(MonitorScript, StopEndsSampling) {
+  Testbed t;
+  t.vm("vm1");
+  MonitorScript mon(t.engine, *t.pm);
+  mon.start();
+  t.engine.run_for(seconds(10));
+  mon.stop();
+  const std::size_t frozen = mon.report().sample_count();
+  t.engine.run_for(seconds(10));
+  EXPECT_EQ(mon.report().sample_count(), frozen);
+  EXPECT_EQ(frozen, 10u);
+}
+
+TEST(MonitorScript, StartTwiceRejected) {
+  Testbed t;
+  t.vm("vm1");
+  MonitorScript mon(t.engine, *t.pm);
+  mon.start();
+  mon.stop();
+  EXPECT_THROW(mon.start(), util::ContractViolation);
+}
+
+TEST(MonitorScript, SafeDestructionWithPendingEvents) {
+  Testbed t;
+  t.vm("vm1");
+  {
+    MonitorScript mon(t.engine, *t.pm);
+    mon.start();
+    t.engine.run_for(seconds(2));
+  }  // destroyed with a queued sampling event
+  t.engine.run_for(seconds(5));  // the stale event must be a no-op
+  SUCCEED();
+}
+
+TEST(MeasurementReport, UnknownEntityThrows) {
+  const MeasurementReport r;
+  EXPECT_THROW((void)r.series("nope"), util::ContractViolation);
+  EXPECT_FALSE(r.has("nope"));
+}
+
+TEST(MonitorScript, ResyncsAfterMidRunVmChange) {
+  Testbed t;
+  t.vm("vm1");
+  MonitorScript mon(t.engine, *t.pm);
+  mon.start();
+  t.engine.run_for(seconds(5));
+  t.vm("vm2");  // topology change mid-run
+  t.engine.run_for(seconds(5));
+  mon.stop();
+  // No crash; the report contains samples from both phases.
+  EXPECT_GE(mon.report().sample_count(), 5u);
+}
+
+}  // namespace
+}  // namespace voprof::mon

@@ -1,0 +1,135 @@
+#include "voprof/xensim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/monitor/sample.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::sim {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+OutboundFlow flow(int pm, const std::string& vm, double kbits, int tag = 0) {
+  return OutboundFlow{NetTarget{pm, vm}, kbits, tag};
+}
+
+TEST(Fabric, DeliversAfterLatency) {
+  NetworkFabric fabric(FabricSpec{1e6, milliseconds(5)});
+  fabric.submit(flow(1, "vm", 10.0), 0, 0);
+  // Before the latency elapses: nothing.
+  EXPECT_TRUE(fabric.advance(milliseconds(4), 0.01).empty());
+  const auto due = fabric.advance(milliseconds(5), 0.01);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].to_pm, 1);
+  EXPECT_EQ(due[0].vm_name, "vm");
+  EXPECT_DOUBLE_EQ(due[0].kbits, 10.0);
+}
+
+TEST(Fabric, CapacityLimitsPerTickDelivery) {
+  NetworkFabric fabric(FabricSpec{1000.0, 0});  // 1000 Kb/s
+  fabric.submit(flow(1, "vm", 100.0), 0, 0);
+  // One 10 ms tick carries at most 10 Kb.
+  const auto first = fabric.advance(milliseconds(10), 0.01);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_NEAR(first[0].kbits, 10.0, 1e-9);
+  EXPECT_NEAR(fabric.backlog_kbits(), 90.0, 1e-9);
+  // The backlog drains over subsequent ticks — no loss.
+  double delivered = first[0].kbits;
+  for (int t = 2; t <= 12; ++t) {
+    for (const auto& d : fabric.advance(milliseconds(10 * t), 0.01)) {
+      delivered += d.kbits;
+    }
+  }
+  EXPECT_NEAR(delivered, 100.0, 1e-6);
+  EXPECT_NEAR(fabric.backlog_kbits(), 0.0, 1e-6);
+}
+
+TEST(Fabric, FifoOrderPreserved) {
+  NetworkFabric fabric(FabricSpec{1e6, 0});
+  fabric.submit(flow(1, "a", 5.0, 1), 0, 0);
+  fabric.submit(flow(1, "b", 5.0, 2), 0, 0);
+  const auto due = fabric.advance(milliseconds(10), 0.01);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].vm_name, "a");
+  EXPECT_EQ(due[1].vm_name, "b");
+}
+
+TEST(Fabric, MergesSplitChunksOfOneFlow) {
+  NetworkFabric fabric(FabricSpec{1000.0, 0});
+  fabric.submit(flow(1, "vm", 15.0), 0, 0);
+  const auto first = fabric.advance(milliseconds(10), 0.01);   // 10 Kb
+  const auto second = fabric.advance(milliseconds(20), 0.01);  // 5 Kb
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NEAR(first[0].kbits + second[0].kbits, 15.0, 1e-9);
+}
+
+TEST(Fabric, CountsSwitchedTraffic) {
+  NetworkFabric fabric;
+  fabric.submit(flow(1, "vm", 42.0), 0, 0);
+  (void)fabric.advance(seconds(1), 0.01);
+  EXPECT_NEAR(fabric.switched_kbits(), 42.0, 1e-9);
+}
+
+TEST(Fabric, RejectsBadInput) {
+  EXPECT_THROW(NetworkFabric(FabricSpec{0.0, 0}), util::ContractViolation);
+  EXPECT_THROW(NetworkFabric(FabricSpec{1.0, -1}), util::ContractViolation);
+  NetworkFabric fabric;
+  EXPECT_THROW(fabric.submit(OutboundFlow{NetTarget{}, 1.0, 0}, 0, 0),
+               util::ContractViolation);  // external flow
+  EXPECT_THROW((void)fabric.advance(0, 0.0), util::ContractViolation);
+}
+
+// --------------------------------------------- cluster-level behaviour
+TEST(FabricInCluster, EndToEndThroughputUnaffectedAtPaperScale) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 5);
+  PhysicalMachine& pm0 = cluster.add_machine(MachineSpec{});
+  PhysicalMachine& pm1 = cluster.add_machine(MachineSpec{});
+  VmSpec s1;
+  s1.name = "tx";
+  pm0.add_vm(s1).attach(
+      std::make_unique<wl::NetPing>(1280.0, NetTarget{1, "rx"}, 3));
+  VmSpec s2;
+  s2.name = "rx";
+  pm1.add_vm(s2);
+  const auto before = pm1.snapshot(engine.now());
+  engine.run_for(seconds(10));
+  const auto after = pm1.snapshot(engine.now());
+  const double rx = mon::domain_util(before.guest("rx").counters,
+                                     after.guest("rx").counters, 10)
+                        .bw_kbps;
+  EXPECT_NEAR(rx, 1280.0, 40.0);
+  EXPECT_LT(cluster.fabric().backlog_kbits(), 30.0);
+}
+
+TEST(FabricInCluster, ThinFabricThrottlesCrossTraffic) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 7, FabricSpec{500.0, 0});  // 0.5 Mb/s
+  PhysicalMachine& pm0 = cluster.add_machine(MachineSpec{});
+  PhysicalMachine& pm1 = cluster.add_machine(MachineSpec{});
+  VmSpec s1;
+  s1.name = "tx";
+  pm0.add_vm(s1).attach(
+      std::make_unique<wl::NetPing>(1280.0, NetTarget{1, "rx"}, 3));
+  VmSpec s2;
+  s2.name = "rx";
+  pm1.add_vm(s2);
+  const auto before = pm1.snapshot(engine.now());
+  engine.run_for(seconds(10));
+  const auto after = pm1.snapshot(engine.now());
+  const double rx = mon::domain_util(before.guest("rx").counters,
+                                     after.guest("rx").counters, 10)
+                        .bw_kbps;
+  EXPECT_NEAR(rx, 500.0, 25.0);  // fabric-limited
+  EXPECT_GT(cluster.fabric().backlog_kbits(), 1000.0);  // queue builds
+}
+
+}  // namespace
+}  // namespace voprof::sim

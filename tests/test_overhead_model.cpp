@@ -1,0 +1,239 @@
+#include "voprof/core/overhead_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/util/rng.hpp"
+
+namespace voprof::model {
+namespace {
+
+/// Synthetic ground truth mirroring Eq. (3):
+///   pm = A * [1, M] + alpha(N) * O * [1, M]
+/// with known A and O, plus optional noise.
+struct GroundTruth {
+  // Per-metric coefficient rows [intercept, c, m, i, n].
+  std::array<std::array<double, 5>, 4> a = {{
+      {20.0, 1.10, 0.00, 0.000, 0.0110},   // PM cpu
+      {752.0, 0.00, 1.00, 0.000, 0.0000},  // PM mem
+      {18.8, 0.00, 0.00, 2.050, 0.0000},   // PM io
+      {2.0, 0.00, 0.00, 0.000, 1.0300},    // PM bw
+  }};
+  std::array<std::array<double, 5>, 4> o = {{
+      {0.8, 0.02, 0.0, 0.000, 0.0005},
+      {0.0, 0.00, 0.0, 0.000, 0.0000},
+      {1.0, 0.00, 0.0, 0.050, 0.0000},
+      {0.5, 0.00, 0.0, 0.000, 0.0100},
+  }};
+
+  [[nodiscard]] UtilVec pm_for(const UtilVec& sum, int n) const {
+    const std::array<double, 4> x = sum.to_array();
+    std::array<double, 4> out{};
+    const double alpha = n <= 1 ? 0.0 : n - 1.0;
+    for (int m = 0; m < 4; ++m) {
+      double v = a[static_cast<std::size_t>(m)][0] +
+                 alpha * o[static_cast<std::size_t>(m)][0];
+      for (int j = 0; j < 4; ++j) {
+        v += (a[static_cast<std::size_t>(m)][static_cast<std::size_t>(j + 1)] +
+              alpha * o[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(j + 1)]) *
+             x[static_cast<std::size_t>(j)];
+      }
+      out[static_cast<std::size_t>(m)] = v;
+    }
+    return UtilVec::from_array(out);
+  }
+};
+
+TrainingSet make_data(const GroundTruth& gt, const std::vector<int>& counts,
+                      std::size_t per_count, double noise,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  TrainingSet data;
+  for (int n : counts) {
+    for (std::size_t i = 0; i < per_count; ++i) {
+      UtilVec sum{rng.uniform(0, 100.0 * n), rng.uniform(80, 150.0 * n),
+                  rng.uniform(0, 90.0 * n), rng.uniform(0, 1280.0 * n)};
+      UtilVec pm = gt.pm_for(sum, n);
+      if (noise > 0) {
+        pm.cpu += rng.gaussian(0, noise);
+        pm.mem += rng.gaussian(0, noise);
+        pm.io += rng.gaussian(0, noise);
+        pm.bw += rng.gaussian(0, noise);
+      }
+      data.add(TrainingRow{sum, n, pm});
+    }
+  }
+  return data;
+}
+
+TEST(UtilVec, ArithmeticAndConversions) {
+  const UtilVec a{1, 2, 3, 4};
+  const UtilVec b{10, 20, 30, 40};
+  const UtilVec s = a + b;
+  EXPECT_DOUBLE_EQ(s.cpu, 11);
+  EXPECT_DOUBLE_EQ(s.bw, 44);
+  const UtilVec d = b - a;
+  EXPECT_DOUBLE_EQ(d.mem, 18);
+  const UtilVec m = a * 2.0;
+  EXPECT_DOUBLE_EQ(m.io, 6);
+  EXPECT_DOUBLE_EQ(a.get(MetricIndex::kMem), 2);
+  EXPECT_DOUBLE_EQ(UtilVec::from_array(a.to_array()).bw, 4);
+}
+
+TEST(UtilVec, FromSample) {
+  mon::UtilSample s{50.0, 84.0, 30.0, 640.0};
+  const UtilVec v = UtilVec::from_sample(s);
+  EXPECT_DOUBLE_EQ(v.cpu, 50.0);
+  EXPECT_DOUBLE_EQ(v.mem, 84.0);
+  EXPECT_DOUBLE_EQ(v.io, 30.0);
+  EXPECT_DOUBLE_EQ(v.bw, 640.0);
+}
+
+TEST(MetricNames, AllDistinct) {
+  EXPECT_EQ(metric_name(MetricIndex::kCpu), "CPU");
+  EXPECT_EQ(metric_name(MetricIndex::kMem), "MEM");
+  EXPECT_EQ(metric_name(MetricIndex::kIo), "I/O");
+  EXPECT_EQ(metric_name(MetricIndex::kBw), "BW");
+}
+
+TEST(TrainingSet, FiltersByVmCount) {
+  TrainingSet data;
+  data.add(TrainingRow{{}, 1, {}});
+  data.add(TrainingRow{{}, 2, {}});
+  data.add(TrainingRow{{}, 4, {}});
+  EXPECT_EQ(data.with_vm_count(1).size(), 1u);
+  EXPECT_EQ(data.with_vm_count_at_least(2).size(), 2u);
+  EXPECT_EQ(data.size(), 3u);
+}
+
+TEST(TrainingSet, DesignAndResponseShapes) {
+  TrainingSet data;
+  data.add(TrainingRow{{1, 2, 3, 4}, 1, {9, 8, 7, 6}});
+  const util::Matrix x = data.design();
+  EXPECT_EQ(x.rows(), 1u);
+  EXPECT_EQ(x.cols(), 4u);
+  EXPECT_DOUBLE_EQ(x(0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(data.response(MetricIndex::kBw)[0], 6.0);
+}
+
+TEST(TrainingSet, RejectsBadVmCount) {
+  TrainingSet data;
+  EXPECT_THROW(data.add(TrainingRow{{}, 0, {}}), util::ContractViolation);
+}
+
+TEST(SingleVmModel, RecoversKnownCoefficients) {
+  const GroundTruth gt;
+  const TrainingSet data = make_data(gt, {1}, 300, 0.0, 21);
+  const SingleVmModel m =
+      SingleVmModel::fit(data, RegressionMethod::kOls);
+  const util::Matrix a = m.coefficient_matrix();
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(a(r, c), gt.a[r][c], 1e-6) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SingleVmModel, PredictMatchesGroundTruth) {
+  const GroundTruth gt;
+  const TrainingSet data = make_data(gt, {1}, 300, 0.1, 22);
+  const SingleVmModel m =
+      SingleVmModel::fit(data, RegressionMethod::kOls);
+  const UtilVec vm{60, 120, 40, 800};
+  const UtilVec pred = m.predict(vm);
+  const UtilVec truth = gt.pm_for(vm, 1);
+  EXPECT_NEAR(pred.cpu, truth.cpu, 0.2);
+  EXPECT_NEAR(pred.io, truth.io, 0.2);
+  EXPECT_NEAR(pred.bw, truth.bw, 0.2);
+}
+
+TEST(SingleVmModel, UntrainedThrows) {
+  const SingleVmModel m;
+  EXPECT_FALSE(m.trained());
+  EXPECT_THROW((void)m.predict(UtilVec{}), util::ContractViolation);
+  EXPECT_THROW((void)m.coefficient_matrix(), util::ContractViolation);
+}
+
+TEST(SingleVmModel, TooFewRowsThrows) {
+  TrainingSet data;
+  for (int i = 0; i < 5; ++i) data.add(TrainingRow{{}, 1, {}});
+  EXPECT_THROW((void)SingleVmModel::fit(data, RegressionMethod::kOls),
+               util::ContractViolation);
+}
+
+TEST(MultiVmModel, AlphaIsNMinusOne) {
+  EXPECT_DOUBLE_EQ(MultiVmModel::alpha(1), 0.0);
+  EXPECT_DOUBLE_EQ(MultiVmModel::alpha(2), 1.0);
+  EXPECT_DOUBLE_EQ(MultiVmModel::alpha(4), 3.0);
+}
+
+TEST(MultiVmModel, RecoversOverheadCoefficients) {
+  const GroundTruth gt;
+  TrainingSet data = make_data(gt, {1}, 300, 0.0, 23);
+  data.append(make_data(gt, {2, 4}, 300, 0.0, 24));
+  const MultiVmModel m = MultiVmModel::fit(data, RegressionMethod::kOls);
+  const util::Matrix o = m.overhead_matrix();
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(o(r, c), gt.o[r][c], 1e-5) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(MultiVmModel, PredictionsTrackGroundTruthAcrossN) {
+  const GroundTruth gt;
+  TrainingSet data = make_data(gt, {1}, 400, 0.2, 25);
+  data.append(make_data(gt, {2, 4}, 400, 0.2, 26));
+  const MultiVmModel m = MultiVmModel::fit(data, RegressionMethod::kOls);
+  for (int n : {1, 2, 3, 4, 6}) {
+    const UtilVec sum{40.0 * n, 100.0 * n, 20.0 * n, 500.0 * n};
+    const UtilVec pred = m.predict(sum, n);
+    const UtilVec truth = gt.pm_for(sum, n);
+    EXPECT_NEAR(pred.cpu, truth.cpu, 0.5) << "n=" << n;
+    EXPECT_NEAR(pred.bw, truth.bw, 0.5) << "n=" << n;
+  }
+}
+
+TEST(MultiVmModel, SingleVmPredictionHasNoOverheadTerm) {
+  const GroundTruth gt;
+  TrainingSet data = make_data(gt, {1}, 300, 0.0, 27);
+  data.append(make_data(gt, {2}, 300, 0.0, 28));
+  const MultiVmModel m = MultiVmModel::fit(data, RegressionMethod::kOls);
+  const UtilVec sum{50, 100, 30, 600};
+  const UtilVec via_multi = m.predict(sum, 1);
+  const UtilVec via_base = m.base().predict(sum);
+  EXPECT_DOUBLE_EQ(via_multi.cpu, via_base.cpu);
+  EXPECT_DOUBLE_EQ(via_multi.bw, via_base.bw);
+}
+
+TEST(MultiVmModel, UntrainedAndBadArgsThrow) {
+  const MultiVmModel m;
+  EXPECT_THROW((void)m.predict(UtilVec{}, 2), util::ContractViolation);
+  const GroundTruth gt;
+  TrainingSet data = make_data(gt, {1}, 300, 0.0, 29);
+  data.append(make_data(gt, {2}, 300, 0.0, 30));
+  const MultiVmModel trained = MultiVmModel::fit(data, RegressionMethod::kOls);
+  EXPECT_THROW((void)trained.predict(UtilVec{}, 0), util::ContractViolation);
+}
+
+TEST(MultiVmModel, MissingMultiDataThrows) {
+  const GroundTruth gt;
+  const TrainingSet data = make_data(gt, {1}, 300, 0.0, 31);
+  EXPECT_THROW((void)MultiVmModel::fit(data, RegressionMethod::kOls),
+               util::ContractViolation);
+}
+
+TEST(MultiVmModel, LmsFitAlsoRecovers) {
+  const GroundTruth gt;
+  TrainingSet data = make_data(gt, {1}, 200, 0.1, 32);
+  data.append(make_data(gt, {2, 4}, 200, 0.1, 33));
+  const MultiVmModel m = MultiVmModel::fit(data, RegressionMethod::kLms);
+  const UtilVec sum{80, 200, 60, 1000};
+  const UtilVec pred = m.predict(sum, 2);
+  const UtilVec truth = gt.pm_for(sum, 2);
+  EXPECT_NEAR(pred.cpu, truth.cpu, 1.0);
+}
+
+}  // namespace
+}  // namespace voprof::model

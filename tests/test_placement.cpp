@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "voprof/core/trainer.hpp"
+#include "voprof/placement/demand_predictor.hpp"
+#include "voprof/placement/evaluation.hpp"
+#include "voprof/placement/placer.hpp"
+#include "voprof/util/assert.hpp"
+
+namespace voprof::place {
+namespace {
+
+using model::UtilVec;
+
+// ------------------------------------------------------ DemandPredictor
+TEST(DemandPredictor, PeakPlusPadding) {
+  DemandPredictorConfig cfg;
+  cfg.window = 10;
+  cfg.padding = 0.10;
+  cfg.base_percentile = 100.0;
+  const DemandPredictor p(cfg);
+  std::vector<UtilVec> trace;
+  for (int i = 1; i <= 10; ++i) {
+    trace.push_back(UtilVec{static_cast<double>(i), 0, 0, 0});
+  }
+  const UtilVec d = p.predict(trace);
+  EXPECT_NEAR(d.cpu, 10.0 * 1.10, 1e-9);
+}
+
+TEST(DemandPredictor, UsesOnlyTrailingWindow) {
+  DemandPredictorConfig cfg;
+  cfg.window = 5;
+  cfg.padding = 0.0;
+  cfg.base_percentile = 100.0;
+  const DemandPredictor p(cfg);
+  std::vector<UtilVec> trace;
+  trace.push_back(UtilVec{1000.0, 0, 0, 0});  // old spike, outside window
+  for (int i = 0; i < 5; ++i) trace.push_back(UtilVec{10.0, 0, 0, 0});
+  EXPECT_NEAR(p.predict(trace).cpu, 10.0, 1e-9);
+}
+
+TEST(DemandPredictor, PercentileShavesOutliers) {
+  DemandPredictorConfig cfg;
+  cfg.window = 100;
+  cfg.padding = 0.0;
+  cfg.base_percentile = 90.0;
+  const DemandPredictor p(cfg);
+  std::vector<UtilVec> trace(99, UtilVec{50.0, 0, 0, 0});
+  trace.push_back(UtilVec{500.0, 0, 0, 0});  // single spike
+  EXPECT_LT(p.predict(trace).cpu, 100.0);
+}
+
+TEST(DemandPredictor, RejectsEmptyTraceAndBadConfig) {
+  const DemandPredictor p;
+  EXPECT_THROW((void)p.predict({}), util::ContractViolation);
+  DemandPredictorConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(DemandPredictor{bad}, util::ContractViolation);
+  DemandPredictorConfig bad2;
+  bad2.padding = -0.1;
+  EXPECT_THROW(DemandPredictor{bad2}, util::ContractViolation);
+}
+
+// ---------------------------------------------------------------- PmState
+TEST(PmState, SumsAndMemory) {
+  PmState pm;
+  pm.spec = sim::MachineSpec{};
+  pm.vm_demands.push_back(UtilVec{40, 100, 10, 500});
+  pm.vm_demands.push_back(UtilVec{20, 150, 5, 100});
+  pm.vm_mem_mib = {256.0, 256.0};
+  EXPECT_EQ(pm.vm_count(), 2);
+  EXPECT_DOUBLE_EQ(pm.demand_sum().cpu, 60.0);
+  EXPECT_DOUBLE_EQ(pm.mem_reserved_mib(), 752.0 + 512.0);
+}
+
+// --------------------------------------------- Placer VOU (no model)
+TEST(PlacerVou, AcceptsUntilRawCpuCapacity) {
+  PlacerConfig cfg;
+  cfg.overhead_aware = false;
+  const Placer placer(cfg, nullptr);
+  PmState pm;
+  pm.spec = sim::MachineSpec{};
+  // VOU believes 400 % CPU is available: 3 x 100 fits, memory allows 4.
+  EXPECT_TRUE(placer.fits(pm, UtilVec{390.0, 0, 0, 0}, 256.0));
+  EXPECT_FALSE(placer.fits(pm, UtilVec{410.0, 0, 0, 0}, 256.0));
+}
+
+TEST(PlacerVou, MemoryCheckCountsDom0) {
+  PlacerConfig cfg;
+  cfg.overhead_aware = false;
+  const Placer placer(cfg, nullptr);
+  PmState pm;
+  pm.spec = sim::MachineSpec{};  // 2048 * 0.9 = 1843 usable, Dom0 752
+  // 4 x 256 = 1024 -> 1776 total: fits.
+  pm.vm_mem_mib = {256, 256, 256};
+  pm.vm_demands.assign(3, UtilVec{});
+  EXPECT_TRUE(placer.fits(pm, UtilVec{}, 256.0));
+  // A 5th VM would hit 2032 > 1843: rejected (the paper's VOU spill).
+  pm.vm_mem_mib.push_back(256);
+  pm.vm_demands.push_back(UtilVec{});
+  EXPECT_FALSE(placer.fits(pm, UtilVec{}, 256.0));
+}
+
+TEST(PlacerVou, FirstFitChoosesEarliestFeasible) {
+  PlacerConfig cfg;
+  cfg.overhead_aware = false;
+  const Placer placer(cfg, nullptr);
+  std::vector<PmState> pms(2);
+  pms[0].spec = pms[1].spec = sim::MachineSpec{};
+  pms[0].vm_demands.assign(4, UtilVec{});
+  pms[0].vm_mem_mib.assign(4, 256.0);  // PM0 memory-full
+  const auto choice = placer.choose(pms, UtilVec{10, 0, 0, 0}, 256.0);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(*choice, 1u);
+}
+
+TEST(PlacerVou, PlaceFallsBackWhenNothingFits) {
+  PlacerConfig cfg;
+  cfg.overhead_aware = false;
+  const Placer placer(cfg, nullptr);
+  std::vector<PmState> pms(2);
+  pms[0].spec = pms[1].spec = sim::MachineSpec{};
+  for (auto& pm : pms) {
+    pm.vm_demands.assign(4, UtilVec{});
+    pm.vm_mem_mib.assign(4, 256.0);
+  }
+  pms[1].vm_demands[0] = UtilVec{50, 0, 0, 0};  // PM1 more loaded
+  bool forced = false;
+  const std::size_t idx = placer.place(pms, UtilVec{10, 0, 0, 0}, 256.0,
+                                       &forced);
+  EXPECT_TRUE(forced);
+  EXPECT_EQ(idx, 0u);  // least CPU-loaded
+  EXPECT_EQ(pms[0].vm_count(), 5);
+}
+
+TEST(PlacerVoa, RequiresTrainedModel) {
+  PlacerConfig cfg;
+  cfg.overhead_aware = true;
+  EXPECT_THROW(Placer(cfg, nullptr), util::ContractViolation);
+  model::MultiVmModel untrained;
+  EXPECT_THROW(Placer(cfg, &untrained), util::ContractViolation);
+}
+
+// ------------------------- VOA vs VOU with a real trained model
+class PlacementWithModel : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model::TrainerConfig c;
+    c.duration = util::seconds(20.0);
+    c.seed = 13;
+    const model::Trainer trainer(c);
+    models_ = new model::TrainedModels(
+        trainer.train(model::RegressionMethod::kOls));
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    models_ = nullptr;
+  }
+  static model::TrainedModels* models_;
+};
+
+model::TrainedModels* PlacementWithModel::models_ = nullptr;
+
+TEST_F(PlacementWithModel, VoaRejectsWhereVouAccepts) {
+  // Three 60 % VMs with real bandwidth: raw sum 180 < 400 so VOU says
+  // yes; the model adds Dom0+hypervisor overhead and a 4th pushes the
+  // predicted PM CPU past the VOA ceiling.
+  PlacerConfig voa_cfg;
+  voa_cfg.overhead_aware = true;
+  PlacerConfig vou_cfg;
+  vou_cfg.overhead_aware = false;
+  const Placer voa(voa_cfg, &models_->multi);
+  const Placer vou(vou_cfg, nullptr);
+
+  PmState pm;
+  pm.spec = sim::MachineSpec{};
+  const UtilVec heavy{60.0, 120.0, 0.0, 1000.0};
+  pm.vm_demands.assign(3, heavy);
+  pm.vm_mem_mib.assign(3, 256.0);
+
+  EXPECT_TRUE(vou.fits(pm, heavy, 256.0));
+  EXPECT_FALSE(voa.fits(pm, heavy, 256.0));
+}
+
+TEST_F(PlacementWithModel, VoaAcceptsLightLoad) {
+  PlacerConfig cfg;
+  cfg.overhead_aware = true;
+  const Placer voa(cfg, &models_->multi);
+  PmState pm;
+  pm.spec = sim::MachineSpec{};
+  EXPECT_TRUE(voa.fits(pm, UtilVec{20.0, 100.0, 5.0, 100.0}, 256.0));
+}
+
+TEST_F(PlacementWithModel, EvaluationSmokeRun) {
+  EvalConfig cfg;
+  cfg.repetitions = 2;
+  cfg.warmup = util::seconds(5.0);
+  cfg.run_duration = util::seconds(20.0);
+  cfg.seed = 3;
+  const PlacementEvaluation eval(cfg, &models_->multi);
+
+  const auto& demands = eval.role_demands();
+  EXPECT_GT(demands.at(VmRole::kRubisWeb).cpu, 30.0);
+  EXPECT_GT(demands.at(VmRole::kBusy).cpu, 40.0);
+  EXPECT_LT(demands.at(VmRole::kIdle).cpu, 5.0);
+  EXPECT_GT(demands.at(VmRole::kRubisWeb).bw,
+            demands.at(VmRole::kRubisDb).bw);  // web tier is BW-heavy
+
+  const CellStats voa = eval.run_cell(3, true);
+  const CellStats vou = eval.run_cell(3, false);
+  EXPECT_GT(voa.mean_throughput, 0.0);
+  EXPECT_GT(vou.mean_throughput, 0.0);
+  // Fig. 10: under the heaviest scenario VOA sustains more throughput
+  // and finishes the request volume sooner.
+  EXPECT_GT(voa.mean_throughput, vou.mean_throughput);
+  EXPECT_LT(voa.mean_total_time, vou.mean_total_time);
+}
+
+TEST_F(PlacementWithModel, EvaluationRejectsBadScenario) {
+  EvalConfig cfg;
+  cfg.repetitions = 1;
+  const PlacementEvaluation eval(cfg, &models_->multi);
+  EXPECT_THROW((void)eval.run_once(-1, true, 1), util::ContractViolation);
+  EXPECT_THROW((void)eval.run_once(4, true, 1), util::ContractViolation);
+}
+
+TEST(RoleNames, AllNamed) {
+  EXPECT_EQ(role_name(VmRole::kRubisWeb), "rubis-web");
+  EXPECT_EQ(role_name(VmRole::kRubisDb), "rubis-db");
+  EXPECT_EQ(role_name(VmRole::kBusy), "busy");
+  EXPECT_EQ(role_name(VmRole::kIdle), "idle");
+}
+
+}  // namespace
+}  // namespace voprof::place

@@ -1,0 +1,226 @@
+#include "voprof/core/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::model {
+namespace {
+
+using util::Matrix;
+using util::Rng;
+
+/// Build y = 2 + 3*x1 - 0.5*x2 (+ noise) over a grid.
+struct SyntheticData {
+  Matrix x;
+  std::vector<double> y;
+};
+
+SyntheticData make_plane(std::size_t n, double noise_sd, std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticData d{Matrix(n, 2), std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(0, 100);
+    const double x2 = rng.uniform(0, 50);
+    d.x(i, 0) = x1;
+    d.x(i, 1) = x2;
+    d.y[i] = 2.0 + 3.0 * x1 - 0.5 * x2 +
+             (noise_sd > 0 ? rng.gaussian(0.0, noise_sd) : 0.0);
+  }
+  return d;
+}
+
+TEST(LinearFit, PredictUsesInterceptAndSlopes) {
+  LinearFit f;
+  f.coef = {1.0, 2.0, -1.0};
+  const std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(f.predict(x), 1.0 + 6.0 - 4.0);
+  EXPECT_THROW((void)f.predict(std::vector<double>{1.0}),
+               util::ContractViolation);
+}
+
+TEST(Ols, RecoversExactPlane) {
+  const SyntheticData d = make_plane(50, 0.0, 1);
+  const LinearFit f = fit_ols(d.x, d.y);
+  ASSERT_EQ(f.coef.size(), 3u);
+  EXPECT_NEAR(f.coef[0], 2.0, 1e-8);
+  EXPECT_NEAR(f.coef[1], 3.0, 1e-10);
+  EXPECT_NEAR(f.coef[2], -0.5, 1e-10);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(f.residual_rms, 0.0, 1e-8);
+}
+
+TEST(Ols, RecoversNoisyPlane) {
+  const SyntheticData d = make_plane(2000, 1.0, 2);
+  const LinearFit f = fit_ols(d.x, d.y);
+  EXPECT_NEAR(f.coef[0], 2.0, 0.25);
+  EXPECT_NEAR(f.coef[1], 3.0, 0.01);
+  EXPECT_NEAR(f.coef[2], -0.5, 0.01);
+  EXPECT_GT(f.r_squared, 0.99);
+  EXPECT_NEAR(f.residual_rms, 1.0, 0.1);
+}
+
+TEST(Ols, RejectsTooFewRows) {
+  Matrix x(2, 2);
+  EXPECT_THROW((void)fit_ols(x, std::vector<double>{1.0, 2.0}),
+               util::ContractViolation);
+}
+
+TEST(Ols, RejectsSizeMismatch) {
+  Matrix x(5, 1);
+  EXPECT_THROW((void)fit_ols(x, std::vector<double>{1.0}),
+               util::ContractViolation);
+}
+
+TEST(Wls, EqualWeightsMatchOls) {
+  const SyntheticData d = make_plane(100, 0.5, 3);
+  const std::vector<double> w(100, 1.0);
+  const LinearFit a = fit_ols(d.x, d.y);
+  const LinearFit b = fit_wls(d.x, d.y, w);
+  for (std::size_t i = 0; i < a.coef.size(); ++i) {
+    EXPECT_NEAR(a.coef[i], b.coef[i], 1e-9);
+  }
+}
+
+TEST(Wls, ZeroWeightIgnoresRow) {
+  // One wild outlier with zero weight must not affect the fit.
+  SyntheticData d = make_plane(50, 0.0, 4);
+  d.y[0] += 1e6;
+  std::vector<double> w(50, 1.0);
+  w[0] = 0.0;
+  const LinearFit f = fit_wls(d.x, d.y, w);
+  EXPECT_NEAR(f.coef[1], 3.0, 1e-8);
+}
+
+TEST(Wls, RejectsNegativeWeight) {
+  const SyntheticData d = make_plane(20, 0.0, 5);
+  std::vector<double> w(20, 1.0);
+  w[3] = -1.0;
+  EXPECT_THROW((void)fit_wls(d.x, d.y, w), util::ContractViolation);
+}
+
+TEST(Lms, MatchesOlsOnCleanData) {
+  const SyntheticData d = make_plane(200, 0.2, 6);
+  Rng rng(7);
+  const LinearFit f = fit_lms(d.x, d.y, rng);
+  EXPECT_NEAR(f.coef[0], 2.0, 0.2);
+  EXPECT_NEAR(f.coef[1], 3.0, 0.01);
+  EXPECT_NEAR(f.coef[2], -0.5, 0.02);
+}
+
+TEST(Lms, RobustToThirtyPercentOutliers) {
+  // The key property of Rousseeuw's estimator (paper ref [24]): OLS
+  // breaks under gross contamination, LMS does not.
+  SyntheticData d = make_plane(300, 0.2, 8);
+  Rng corrupt(9);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const auto idx = static_cast<std::size_t>(corrupt.uniform_int(300));
+    d.y[idx] = corrupt.uniform(2000.0, 4000.0);
+  }
+  const LinearFit ols = fit_ols(d.x, d.y);
+  Rng rng(10);
+  const LinearFit lms = fit_lms(d.x, d.y, rng);
+  // OLS slope is dragged far away; LMS stays within a few percent.
+  EXPECT_GT(std::abs(ols.coef[1] - 3.0), 0.5);
+  EXPECT_NEAR(lms.coef[1], 3.0, 0.1);
+  EXPECT_NEAR(lms.coef[2], -0.5, 0.1);
+}
+
+TEST(Lms, DeterministicGivenRngState) {
+  const SyntheticData d = make_plane(100, 0.3, 11);
+  Rng r1(42), r2(42);
+  const LinearFit a = fit_lms(d.x, d.y, r1);
+  const LinearFit b = fit_lms(d.x, d.y, r2);
+  for (std::size_t i = 0; i < a.coef.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.coef[i], b.coef[i]);
+  }
+}
+
+TEST(Lms, RejectsTooFewRows) {
+  Matrix x(4, 2);
+  std::vector<double> y(4, 1.0);
+  Rng rng(1);
+  EXPECT_THROW((void)fit_lms(x, y, rng), util::ContractViolation);
+}
+
+TEST(Lqs, HigherQuantileCoversMoreOfTheData) {
+  // Data whose majority (60 %) follows one line and whose minority
+  // (40 %) follows a parallel line offset by +50. Median LMS fits the
+  // majority exactly; LQS at q=0.85 must account for 85 % of points
+  // and lands between the two populations.
+  Rng gen(3);
+  Matrix x(500, 1);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double xi = gen.uniform(0, 100);
+    x(i, 0) = xi;
+    y[i] = 2.0 * xi + (i % 5 < 2 ? 50.0 : 0.0) + gen.gaussian(0, 0.1);
+  }
+  LmsConfig median_cfg;
+  LmsConfig lqs_cfg;
+  lqs_cfg.quantile = 0.85;
+  Rng r1(7), r2(7);
+  const LinearFit median = fit_lms(x, y, r1, median_cfg);
+  const LinearFit lqs = fit_lms(x, y, r2, lqs_cfg);
+  // Median fit hugs the majority line (intercept ~0)...
+  EXPECT_NEAR(median.coef[0], 0.0, 2.0);
+  // ...while the 85 %-quantile fit must sit above it to cover the
+  // minority population too.
+  EXPECT_GT(lqs.coef[0], median.coef[0] + 5.0);
+  EXPECT_NEAR(lqs.coef[1], 2.0, 0.2);  // slope shared by both groups
+}
+
+TEST(Lqs, QuantileValidated) {
+  const SyntheticData d = make_plane(100, 0.1, 21);
+  Rng rng(1);
+  LmsConfig bad;
+  bad.quantile = 0.3;
+  EXPECT_THROW((void)fit_lms(d.x, d.y, rng, bad), util::ContractViolation);
+  bad.quantile = 1.5;
+  EXPECT_THROW((void)fit_lms(d.x, d.y, rng, bad), util::ContractViolation);
+}
+
+TEST(Lqs, ModelFitConfigUsesDocumentedQuantile) {
+  EXPECT_DOUBLE_EQ(model_fit_config().quantile, kModelFitQuantile);
+  EXPECT_GT(kModelFitQuantile, 0.5);
+}
+
+TEST(Fit, DispatchesOnMethod) {
+  const SyntheticData d = make_plane(100, 0.1, 12);
+  const LinearFit ols = fit(RegressionMethod::kOls, d.x, d.y);
+  const LinearFit lms = fit(RegressionMethod::kLms, d.x, d.y, 55);
+  EXPECT_NEAR(ols.coef[1], 3.0, 0.01);
+  EXPECT_NEAR(lms.coef[1], 3.0, 0.02);
+}
+
+TEST(Residuals, ZeroForPerfectFit) {
+  const SyntheticData d = make_plane(30, 0.0, 13);
+  const LinearFit f = fit_ols(d.x, d.y);
+  for (double r : residuals(f, d.x, d.y)) EXPECT_NEAR(r, 0.0, 1e-7);
+}
+
+/// Property sweep: R^2 decreases as noise grows.
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, RSquaredReflectsNoise) {
+  const double noise = GetParam();
+  const SyntheticData d = make_plane(1000, noise, 17);
+  const LinearFit f = fit_ols(d.x, d.y);
+  // Signal variance is large (slope 3 over 0..100); even heavy noise
+  // keeps R^2 bounded away from zero, but it must be monotone-ish.
+  if (noise <= 0.1) {
+    EXPECT_GT(f.r_squared, 0.9999);
+  } else if (noise >= 50.0) {
+    EXPECT_LT(f.r_squared, 0.9);
+  }
+  EXPECT_NEAR(f.residual_rms, noise, noise * 0.15 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseSweep,
+                         ::testing::Values(0.0, 0.1, 1.0, 10.0, 50.0));
+
+}  // namespace
+}  // namespace voprof::model

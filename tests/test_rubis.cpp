@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/rubis/deployment.hpp"
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::rubis {
+namespace {
+
+using util::seconds;
+
+struct Testbed {
+  sim::Engine engine;
+  std::unique_ptr<sim::Cluster> cluster;
+
+  explicit Testbed(std::uint64_t seed = 33) {
+    cluster = std::make_unique<sim::Cluster>(engine, sim::CostModel{}, seed);
+    cluster->add_machine(sim::MachineSpec{});  // PM1 web
+    cluster->add_machine(sim::MachineSpec{});  // PM2 db
+    cluster->add_machine(sim::MachineSpec{});  // client machine
+  }
+
+  RubisInstance deploy(int clients) {
+    DeployOptions opt;
+    opt.clients = clients;
+    return deploy_rubis(*cluster, 0, 1, 2, opt);
+  }
+};
+
+TEST(RubisDeployment, CreatesVmsAndProcesses) {
+  Testbed t;
+  const RubisInstance inst = t.deploy(300);
+  EXPECT_NE(t.cluster->machine(0).find_vm(inst.web_vm), nullptr);
+  EXPECT_NE(t.cluster->machine(1).find_vm(inst.db_vm), nullptr);
+  EXPECT_NE(t.cluster->machine(2).find_vm(inst.client_vm), nullptr);
+  EXPECT_NE(inst.web, nullptr);
+  EXPECT_NE(inst.db, nullptr);
+  EXPECT_NE(inst.client, nullptr);
+}
+
+TEST(RubisDeployment, WireRejectsMissingVms) {
+  Testbed t;
+  DeployOptions opt;
+  EXPECT_THROW((void)wire_rubis(*t.cluster, 0, 1, "nope", "alsono", 2, opt),
+               util::ContractViolation);
+}
+
+TEST(RubisClosedLoop, ServesRequestsAtExpectedRate) {
+  Testbed t;
+  const RubisInstance inst = t.deploy(500);
+  t.engine.run_for(seconds(20));  // warmup
+  const double mark = inst.client->completed();
+  t.engine.run_for(seconds(40));
+  const double tput = (inst.client->completed() - mark) / 40.0;
+  // 500 clients with 5 s think time -> ~100 req/s in closed loop
+  // (slightly lower due to response latency).
+  EXPECT_GT(tput, 80.0);
+  EXPECT_LT(tput, 110.0);
+}
+
+TEST(RubisClosedLoop, ThroughputScalesWithClients) {
+  double tputs[2] = {0, 0};
+  const int client_counts[2] = {300, 700};
+  for (int i = 0; i < 2; ++i) {
+    Testbed t(static_cast<std::uint64_t>(40 + i));
+    const RubisInstance inst = t.deploy(client_counts[i]);
+    t.engine.run_for(seconds(20));
+    const double mark = inst.client->completed();
+    t.engine.run_for(seconds(30));
+    tputs[i] = (inst.client->completed() - mark) / 30.0;
+  }
+  EXPECT_GT(tputs[1], 1.5 * tputs[0]);  // more clients, more load
+}
+
+TEST(RubisClosedLoop, PopulationIsConserved) {
+  Testbed t;
+  const RubisInstance inst = t.deploy(400);
+  t.engine.run_for(seconds(30));
+  // Closed loop: every client is either thinking or has a request in
+  // flight. Fluid-model noise makes this approximate, not exact.
+  const double population =
+      inst.client->thinking() + inst.client->in_flight();
+  EXPECT_NEAR(population, 400.0, 20.0);
+  EXPECT_GT(inst.client->in_flight(), 0.0);
+  EXPECT_LT(inst.client->in_flight(), 400.0);
+}
+
+TEST(RubisClosedLoop, WebVmUtilizationInExpectedBand) {
+  Testbed t;
+  const RubisInstance inst = t.deploy(500);
+  const auto before = t.cluster->machine(0).snapshot(t.engine.now());
+  t.engine.run_for(seconds(30));
+  const auto after = t.cluster->machine(0).snapshot(t.engine.now());
+  const double cpu =
+      (after.guest(inst.web_vm).counters.cpu_core_seconds -
+       before.guest(inst.web_vm).counters.cpu_core_seconds) / 30.0 * 100.0;
+  // ~100 req/s x 7 ms -> ~70 %.
+  EXPECT_GT(cpu, 50.0);
+  EXPECT_LT(cpu, 90.0);
+}
+
+TEST(RubisClosedLoop, DbSeesOnlyItsShare) {
+  Testbed t;
+  const RubisInstance inst = t.deploy(500);
+  t.engine.run_for(seconds(20));
+  const double web_served = inst.web->total_served();
+  const double db_served = inst.db->total_served();
+  ASSERT_GT(web_served, 0.0);
+  // db_fraction = 0.85 of requests reach the DB.
+  EXPECT_NEAR(db_served / web_served, 0.85, 0.06);
+}
+
+TEST(RubisClosedLoop, StarvationDropsThroughput) {
+  // Co-locate the web VM with three CPU hogs on its PM: the guest pool
+  // contention must cut RUBiS throughput (the Fig. 10 mechanism).
+  double tput_free = 0.0, tput_starved = 0.0;
+  for (int starved = 0; starved < 2; ++starved) {
+    Testbed t(static_cast<std::uint64_t>(50 + starved));
+    if (starved) {
+      for (int i = 0; i < 3; ++i) {
+        sim::VmSpec spec;
+        spec.name = "hog" + std::to_string(i);
+        t.cluster->machine(0).add_vm(spec).attach(
+            std::make_unique<wl::CpuHog>(90.0, 60 + static_cast<std::uint64_t>(i)));
+      }
+    }
+    const RubisInstance inst = t.deploy(500);
+    t.engine.run_for(seconds(20));
+    const double mark = inst.client->completed();
+    t.engine.run_for(seconds(30));
+    const double tput = (inst.client->completed() - mark) / 30.0;
+    (starved ? tput_starved : tput_free) = tput;
+  }
+  EXPECT_LT(tput_starved, 0.75 * tput_free);
+}
+
+TEST(RubisClient, SetClientsAdjustsLoad) {
+  Testbed t;
+  const RubisInstance inst = t.deploy(300);
+  t.engine.run_for(seconds(10));
+  inst.client->set_clients(700);
+  EXPECT_EQ(inst.client->clients(), 700);
+  const double mark = inst.client->completed();
+  t.engine.run_for(seconds(20));
+  const double tput = (inst.client->completed() - mark) / 20.0;
+  EXPECT_GT(tput, 100.0);  // ramped up
+}
+
+TEST(RubisClient, RejectsNegativeClients) {
+  EXPECT_THROW(ClientEmulator(RubisCosts{}, sim::NetTarget{}, -1),
+               util::ContractViolation);
+}
+
+TEST(RubisCostsContract, BadCostsRejected) {
+  RubisCosts c;
+  c.web_cpu_ms_per_req = 0.0;
+  EXPECT_THROW(WebTier(c, sim::NetTarget{}, sim::NetTarget{}),
+               util::ContractViolation);
+  RubisCosts c2;
+  c2.db_fraction = 1.5;
+  EXPECT_THROW(WebTier(c2, sim::NetTarget{}, sim::NetTarget{}),
+               util::ContractViolation);
+  RubisCosts c3;
+  c3.think_time_s = 0.0;
+  EXPECT_THROW(ClientEmulator(c3, sim::NetTarget{}, 10),
+               util::ContractViolation);
+}
+
+TEST(RubisMultiInstance, ThreePairsCoexist) {
+  // Sec. VI-A runs three RUBiS sets: three web VMs on PM1, three DB
+  // VMs on PM2.
+  Testbed t;
+  std::vector<RubisInstance> insts;
+  for (int i = 0; i < 3; ++i) {
+    DeployOptions opt;
+    opt.clients = 300;
+    opt.suffix = std::to_string(i + 1);
+    opt.seed = 70 + static_cast<std::uint64_t>(i) * 10;
+    insts.push_back(deploy_rubis(*t.cluster, 0, 1, 2, opt));
+  }
+  t.engine.run_for(seconds(30));
+  for (const auto& inst : insts) {
+    EXPECT_GT(inst.client->completed(), 100.0);
+  }
+  EXPECT_EQ(t.cluster->machine(0).vm_count(), 3u);
+  EXPECT_EQ(t.cluster->machine(1).vm_count(), 3u);
+}
+
+}  // namespace
+}  // namespace voprof::rubis

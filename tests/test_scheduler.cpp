@@ -1,0 +1,149 @@
+#include "voprof/xensim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+namespace {
+
+std::vector<SchedRequest> demands(std::initializer_list<double> d) {
+  std::vector<SchedRequest> out;
+  for (double v : d) out.push_back(SchedRequest{v, 100.0, 1.0});
+  return out;
+}
+
+TEST(CreditScheduler, SingleVcpuGetsItsDemand) {
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate(demands({60.0}));
+  ASSERT_EQ(r.granted_pct.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.granted_pct[0], 60.0);
+  EXPECT_FALSE(r.contended);
+}
+
+TEST(CreditScheduler, SingleVcpuNoEfficiencyPenalty) {
+  // Fig. 2(a): one VM reaches 99 % - the multi-VM loss must not apply.
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate(demands({99.0}));
+  EXPECT_DOUBLE_EQ(r.granted_pct[0], 99.0);
+}
+
+TEST(CreditScheduler, TwoSaturatedVcpusReach95Each) {
+  // Fig. 3(a): two VMs at 100 % input consume 95 % each.
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate(demands({100.0, 100.0}));
+  EXPECT_NEAR(r.granted_pct[0], 95.0, 1e-9);
+  EXPECT_NEAR(r.granted_pct[1], 95.0, 1e-9);
+  EXPECT_TRUE(r.contended);
+}
+
+TEST(CreditScheduler, FourSaturatedVcpusReach47Each) {
+  // Fig. 4(a): four VMs at 100 % input consume ~47 % each.
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate(demands({100.0, 100.0, 100.0, 100.0}));
+  for (double g : r.granted_pct) EXPECT_NEAR(g, 47.5, 1e-9);
+}
+
+TEST(CreditScheduler, LowDemandFullySatisfied) {
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate(demands({30.0, 30.0, 30.0, 30.0}));
+  for (double g : r.granted_pct) EXPECT_NEAR(g, 30.0, 1e-9);
+  EXPECT_FALSE(r.contended);
+}
+
+TEST(CreditScheduler, WorkConservingSlackRedistribution) {
+  // One light VCPU returns slack to two heavy ones.
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate(demands({10.0, 100.0, 100.0}));
+  EXPECT_NEAR(r.granted_pct[0], 10.0, 1e-9);
+  // Remaining 180 split between the two heavy VCPUs.
+  EXPECT_NEAR(r.granted_pct[1], 90.0, 1e-9);
+  EXPECT_NEAR(r.granted_pct[2], 90.0, 1e-9);
+  EXPECT_NEAR(r.total_granted_pct, 190.0, 1e-9);
+}
+
+TEST(CreditScheduler, PerVcpuCapRespected) {
+  const CreditScheduler sched(400.0, 1.0);
+  std::vector<SchedRequest> reqs = {{250.0, 100.0, 1.0}, {50.0, 100.0, 1.0}};
+  const SchedResult r = sched.allocate(reqs);
+  EXPECT_NEAR(r.granted_pct[0], 100.0, 1e-9);  // capped at the VCPU count
+  EXPECT_NEAR(r.granted_pct[1], 50.0, 1e-9);
+}
+
+TEST(CreditScheduler, WeightsBiasContendedShares) {
+  const CreditScheduler sched(100.0, 1.0);
+  std::vector<SchedRequest> reqs = {{100.0, 100.0, 3.0}, {100.0, 100.0, 1.0}};
+  const SchedResult r = sched.allocate(reqs);
+  EXPECT_NEAR(r.granted_pct[0], 75.0, 1e-9);
+  EXPECT_NEAR(r.granted_pct[1], 25.0, 1e-9);
+}
+
+TEST(CreditScheduler, ZeroDemandGetsZero) {
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate(demands({0.0, 80.0}));
+  EXPECT_DOUBLE_EQ(r.granted_pct[0], 0.0);
+  // Only one runnable VCPU: no efficiency penalty either.
+  EXPECT_NEAR(r.granted_pct[1], 80.0, 1e-9);
+}
+
+TEST(CreditScheduler, EmptyRequestListOk) {
+  const CreditScheduler sched(200.0, 0.95);
+  const SchedResult r = sched.allocate({});
+  EXPECT_TRUE(r.granted_pct.empty());
+  EXPECT_DOUBLE_EQ(r.total_granted_pct, 0.0);
+}
+
+TEST(CreditScheduler, NeverExceedsPool) {
+  const CreditScheduler sched(200.0, 0.95);
+  for (int n = 1; n <= 8; ++n) {
+    std::vector<SchedRequest> reqs(static_cast<std::size_t>(n),
+                                   SchedRequest{100.0, 100.0, 1.0});
+    const SchedResult r = sched.allocate(reqs);
+    const double pool = n >= 2 ? 190.0 : 200.0;
+    EXPECT_LE(r.total_granted_pct, pool + 1e-9) << "n=" << n;
+  }
+}
+
+TEST(CreditScheduler, RejectsInvalidInputs) {
+  EXPECT_THROW(CreditScheduler(0.0, 0.95), util::ContractViolation);
+  EXPECT_THROW(CreditScheduler(200.0, 0.0), util::ContractViolation);
+  EXPECT_THROW(CreditScheduler(200.0, 1.5), util::ContractViolation);
+  const CreditScheduler sched(200.0, 0.95);
+  EXPECT_THROW((void)sched.allocate({SchedRequest{-1.0, 100.0, 1.0}}),
+               util::ContractViolation);
+  EXPECT_THROW((void)sched.allocate({SchedRequest{1.0, 100.0, 0.0}}),
+               util::ContractViolation);
+}
+
+/// Property sweep: allocation is work-conserving and fair for many
+/// demand mixes.
+class SchedulerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerSweep, WorkConservingAndBounded) {
+  const int n = GetParam();
+  const CreditScheduler sched(200.0, 0.95);
+  std::vector<SchedRequest> reqs;
+  double total_demand = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = 10.0 + 13.0 * i;  // varied demands
+    reqs.push_back(SchedRequest{d, 100.0, 1.0});
+    total_demand += std::min(d, 100.0);
+  }
+  const SchedResult r = sched.allocate(reqs);
+  const double pool = (n >= 2 ? 190.0 : 200.0);
+  // Work conservation: grant everything or fill the pool.
+  EXPECT_NEAR(r.total_granted_pct, std::min(total_demand, pool), 1e-6);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_LE(r.granted_pct[i], std::min(reqs[i].demand_pct, 100.0) + 1e-9);
+    EXPECT_GE(r.granted_pct[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VaryVcpuCount, SchedulerSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace voprof::sim

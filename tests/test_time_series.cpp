@@ -1,0 +1,83 @@
+#include "voprof/util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::util {
+namespace {
+
+TEST(TimeSeries, AddAndIndex) {
+  TimeSeries ts;
+  ts.add(seconds(1), 10.0);
+  ts.add(seconds(2), 20.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0].time, seconds(1));
+  EXPECT_DOUBLE_EQ(ts[1].value, 20.0);
+  EXPECT_THROW((void)ts[2], ContractViolation);
+}
+
+TEST(TimeSeries, RejectsDecreasingTimestamps) {
+  TimeSeries ts;
+  ts.add(seconds(2), 1.0);
+  EXPECT_THROW(ts.add(seconds(1), 2.0), ContractViolation);
+  ts.add(seconds(2), 3.0);  // equal is fine
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TimeSeries, MeanAndValues) {
+  TimeSeries ts;
+  for (int i = 1; i <= 4; ++i) ts.add(seconds(i), i * 10.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 25.0);
+  const auto v = ts.values();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[2], 30.0);
+  EXPECT_DOUBLE_EQ(TimeSeries{}.mean(), 0.0);
+}
+
+TEST(TimeSeries, MeanBetweenWindow) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.add(seconds(i), static_cast<double>(i));
+  // [2s, 5s) -> samples 2,3,4
+  EXPECT_DOUBLE_EQ(ts.mean_between(seconds(2), seconds(5)), 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(seconds(100), seconds(200)), 0.0);
+}
+
+TEST(TimeSeries, SliceSelectsHalfOpenRange) {
+  TimeSeries ts;
+  for (int i = 0; i < 5; ++i) ts.add(seconds(i), static_cast<double>(i));
+  const TimeSeries s = ts.slice(seconds(1), seconds(4));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(s[2].value, 3.0);
+}
+
+TEST(TimeSeries, StatsMatchesValues) {
+  TimeSeries ts;
+  ts.add(0, 2.0);
+  ts.add(1, 4.0);
+  const RunningStats st = ts.stats();
+  EXPECT_EQ(st.count(), 2u);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+}
+
+TEST(TimeSeries, LastOr) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.last_or(-1.0), -1.0);
+  ts.add(0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.last_or(-1.0), 5.0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mbps_to_kbps(1.28), 1280.0);
+  EXPECT_DOUBLE_EQ(kbps_to_mbps(1280.0), 1.28);
+  EXPECT_DOUBLE_EQ(bytes_per_s_to_kbps(254.0), 254.0 * 8.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(kbps_to_bytes_per_s(bytes_per_s_to_kbps(400.0)), 400.0);
+  EXPECT_DOUBLE_EQ(blocks_to_kbps(1.0), 512.0 * 8.0 / 1000.0);
+  EXPECT_EQ(seconds(1.5), 1500000);
+  EXPECT_EQ(milliseconds(10), 10000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+}
+
+}  // namespace
+}  // namespace voprof::util

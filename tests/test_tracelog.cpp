@@ -1,0 +1,160 @@
+#include "voprof/xensim/tracelog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
+
+namespace voprof::sim {
+namespace {
+
+using util::seconds;
+
+TraceEvent ev(double t, TraceEventType type, double value = 0.0) {
+  return TraceEvent{seconds(t), type, 0, "", value};
+}
+
+TEST(TraceLog, RecordsInOrder) {
+  TraceLog log(8);
+  log.record(ev(1.0, TraceEventType::kVmCreated));
+  log.record(ev(2.0, TraceEventType::kVmRemoved));
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEventType::kVmCreated);
+  EXPECT_EQ(events[1].type, TraceEventType::kVmRemoved);
+  EXPECT_EQ(log.total_recorded(), 2u);
+  EXPECT_FALSE(log.overflowed());
+}
+
+TEST(TraceLog, RingOverwritesOldest) {
+  TraceLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.record(ev(i, TraceEventType::kSchedContention, i));
+  }
+  EXPECT_TRUE(log.overflowed());
+  EXPECT_EQ(log.total_recorded(), 5u);
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].value, 2.0);  // oldest survivor
+  EXPECT_DOUBLE_EQ(events[2].value, 4.0);
+}
+
+TEST(TraceLog, FilterByType) {
+  TraceLog log(16);
+  log.record(ev(1, TraceEventType::kVmCreated));
+  log.record(ev(2, TraceEventType::kDiskThrottled, 5.0));
+  log.record(ev(3, TraceEventType::kVmCreated));
+  EXPECT_EQ(log.events_of(TraceEventType::kVmCreated).size(), 2u);
+  EXPECT_EQ(log.events_of(TraceEventType::kNicThrottled).size(), 0u);
+}
+
+TEST(TraceLog, ClearResets) {
+  TraceLog log(4);
+  log.record(ev(1, TraceEventType::kVmCreated));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(TraceLog, DumpIsHumanReadable) {
+  TraceLog log(4);
+  log.record(TraceEvent{seconds(12.34), TraceEventType::kSchedContention, 1,
+                        "vm7", 8.5});
+  const std::string dump = log.dump();
+  EXPECT_NE(dump.find("t=12.34s"), std::string::npos);
+  EXPECT_NE(dump.find("pm1"), std::string::npos);
+  EXPECT_NE(dump.find("sched-contention"), std::string::npos);
+  EXPECT_NE(dump.find("vm7"), std::string::npos);
+}
+
+TEST(TraceLog, ZeroCapacityRejected) {
+  EXPECT_THROW(TraceLog(0), util::ContractViolation);
+}
+
+TEST(TraceLog, EventNamesAllDistinct) {
+  std::set<std::string> names;
+  for (auto t : {TraceEventType::kVmCreated, TraceEventType::kVmRemoved,
+                 TraceEventType::kSchedContention,
+                 TraceEventType::kDiskThrottled,
+                 TraceEventType::kNicThrottled,
+                 TraceEventType::kMigrationStarted,
+                 TraceEventType::kMigrationFinished,
+                 TraceEventType::kMigrationFailed}) {
+    names.insert(trace_event_name(t));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+// ------------------------------------------- wired into the simulator
+TEST(ClusterTracing, LifecycleAndContentionEvents) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 3);
+  TraceLog& log = cluster.enable_tracing();
+  PhysicalMachine& pm = cluster.add_machine(MachineSpec{});
+  for (int i = 0; i < 3; ++i) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(i);
+    pm.add_vm(spec).attach(
+        std::make_unique<wl::CpuHog>(100.0, 5 + static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(log.events_of(TraceEventType::kVmCreated).size(), 3u);
+  engine.run_for(seconds(1));
+  // 3 x 100 % on the 190 % pool: contention every tick.
+  EXPECT_GE(log.events_of(TraceEventType::kSchedContention).size(), 50u);
+  const auto contentions = log.events_of(TraceEventType::kSchedContention);
+  EXPECT_NEAR(contentions.back().value, 300.0 - 190.0, 10.0);
+  pm.remove_vm("vm0");
+  EXPECT_EQ(log.events_of(TraceEventType::kVmRemoved).size(), 1u);
+}
+
+TEST(ClusterTracing, MigrationEventsLogged) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 7);
+  cluster.enable_tracing();
+  PhysicalMachine& pm0 = cluster.add_machine(MachineSpec{});
+  cluster.add_machine(MachineSpec{});
+  VmSpec spec;
+  spec.name = "vm1";
+  pm0.add_vm(spec);
+  (void)cluster.migration().start("vm1", 0, 1);
+  engine.run_for(seconds(30));
+  TraceLog& log = *cluster.trace_log();
+  ASSERT_EQ(log.events_of(TraceEventType::kMigrationStarted).size(), 1u);
+  ASSERT_EQ(log.events_of(TraceEventType::kMigrationFinished).size(), 1u);
+  EXPECT_EQ(log.events_of(TraceEventType::kMigrationFinished)[0].subject,
+            "vm1");
+}
+
+TEST(ClusterTracing, ThrottleEventsLogged) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 11);
+  cluster.enable_tracing();
+  MachineSpec tiny;
+  tiny.disk_blocks_per_s = 100.0;
+  PhysicalMachine& pm = cluster.add_machine(tiny);
+  VmSpec spec;
+  spec.name = "vm1";
+  pm.add_vm(spec).attach(std::make_unique<wl::IoHog>(80.0, 13));
+  engine.run_for(seconds(5));
+  EXPECT_GE(cluster.trace_log()
+                ->events_of(TraceEventType::kDiskThrottled)
+                .size(),
+            10u);
+}
+
+TEST(ClusterTracing, DisabledByDefault) {
+  Engine engine;
+  Cluster cluster(engine, CostModel{}, 13);
+  EXPECT_EQ(cluster.trace_log(), nullptr);
+  cluster.add_machine(MachineSpec{});
+  engine.run_for(seconds(1));  // no crash without a log
+  TraceLog& a = cluster.enable_tracing();
+  TraceLog& b = cluster.enable_tracing();
+  EXPECT_EQ(&a, &b);  // idempotent
+}
+
+}  // namespace
+}  // namespace voprof::sim

@@ -1,0 +1,104 @@
+#include "voprof/xensim/vdisk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "voprof/util/assert.hpp"
+
+namespace voprof::sim {
+namespace {
+
+TEST(VDisk, DefaultGeometryGivesPaperAmplification) {
+  const VirtualDisk vd;
+  // 8-block ops on 8-block stripes + 1.4 journal blocks:
+  // E[stripes] = 1 + 7/8; amplification = (1.875*8 + 1.4)/8 = 2.05.
+  EXPECT_NEAR(vd.expected_amplification(), 2.05, 1e-12);
+}
+
+TEST(VDisk, AlignedOpTouchesOneStripe) {
+  const VirtualDisk vd;
+  // offset 0: exactly one stripe RMW + journal.
+  EXPECT_DOUBLE_EQ(vd.physical_blocks_for_op(0.0), 8.0 + 1.4);
+}
+
+TEST(VDisk, MisalignedOpTouchesTwoStripes) {
+  const VirtualDisk vd;
+  for (double offset : {1.0, 3.0, 7.0}) {
+    EXPECT_DOUBLE_EQ(vd.physical_blocks_for_op(offset), 16.0 + 1.4)
+        << "offset " << offset;
+  }
+}
+
+TEST(VDisk, OffsetWrapsAroundStripe) {
+  const VirtualDisk vd;
+  EXPECT_DOUBLE_EQ(vd.physical_blocks_for_op(8.0),
+                   vd.physical_blocks_for_op(0.0));
+  EXPECT_DOUBLE_EQ(vd.physical_blocks_for_op(17.0),
+                   vd.physical_blocks_for_op(1.0));
+}
+
+TEST(VDisk, SampledAmplificationConvergesToExpectation) {
+  VirtualDisk vd(VDiskGeometry{}, 5);
+  const double guest = 8.0 * 20000.0;  // 20k whole ops
+  const double physical = vd.physical_blocks(guest);
+  EXPECT_NEAR(physical / guest, vd.expected_amplification(), 0.01);
+}
+
+TEST(VDisk, FractionalOpsUseExpectation) {
+  VirtualDisk vd(VDiskGeometry{}, 7);
+  // Less than one op: deterministic expectation path.
+  const double physical = vd.physical_blocks(0.8);
+  EXPECT_NEAR(physical, 0.8 * 2.05, 1e-9);
+  EXPECT_DOUBLE_EQ(vd.physical_blocks(0.0), 0.0);
+}
+
+TEST(VDisk, LargeOpsSpanProportionallyMoreStripes) {
+  VDiskGeometry g;
+  g.op_blocks = 32.0;  // 4 stripes + crossing
+  const VirtualDisk vd(g, 3);
+  // E[stripes] = 4 + 7/8; amplification = (4.875*8 + 1.4)/32.
+  EXPECT_NEAR(vd.expected_amplification(), (4.875 * 8.0 + 1.4) / 32.0,
+              1e-12);
+  // Bigger ops amortize the RMW better: amplification drops.
+  EXPECT_LT(vd.expected_amplification(), 2.05);
+}
+
+TEST(VDisk, StripeSizeTradeoff) {
+  // Wider stripes = more RMW waste for small ops.
+  VDiskGeometry narrow;
+  narrow.stripe_blocks = 4.0;
+  VDiskGeometry wide;
+  wide.stripe_blocks = 32.0;
+  EXPECT_LT(VirtualDisk(narrow).expected_amplification(),
+            VirtualDisk(wide).expected_amplification());
+}
+
+TEST(VDisk, JournalFreeGeometry) {
+  VDiskGeometry g;
+  g.journal_blocks_per_op = 0.0;
+  const VirtualDisk vd(g);
+  EXPECT_NEAR(vd.expected_amplification(), 1.875, 1e-12);
+}
+
+TEST(VDisk, RejectsBadGeometry) {
+  VDiskGeometry bad;
+  bad.op_blocks = 0.0;
+  EXPECT_THROW(VirtualDisk{bad}, util::ContractViolation);
+  VDiskGeometry bad2;
+  bad2.stripe_blocks = 0.5;
+  EXPECT_THROW(VirtualDisk{bad2}, util::ContractViolation);
+  VDiskGeometry bad3;
+  bad3.journal_blocks_per_op = -1.0;
+  EXPECT_THROW(VirtualDisk{bad3}, util::ContractViolation);
+  VirtualDisk ok;
+  EXPECT_THROW((void)ok.physical_blocks_for_op(-1.0),
+               util::ContractViolation);
+  EXPECT_THROW((void)ok.physical_blocks(-1.0), util::ContractViolation);
+}
+
+TEST(VDisk, DeterministicForSeed) {
+  VirtualDisk a(VDiskGeometry{}, 11), b(VDiskGeometry{}, 11);
+  EXPECT_DOUBLE_EQ(a.physical_blocks(800.0), b.physical_blocks(800.0));
+}
+
+}  // namespace
+}  // namespace voprof::sim

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/workloads/levels.hpp"
+
+namespace voprof::wl {
+namespace {
+
+TEST(CpuHog, DemandTracksTarget) {
+  CpuHog hog(60.0, 1);
+  double sum = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) sum += hog.demand(0, 0.01).cpu_pct;
+  EXPECT_NEAR(sum / n, 60.0, 0.2);
+}
+
+TEST(CpuHog, DemandStaysInRange) {
+  CpuHog hog(99.9, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = hog.demand(0, 0.01).cpu_pct;
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 100.0);
+  }
+}
+
+TEST(CpuHog, SetTargetChangesDemand) {
+  CpuHog hog(10.0, 1);
+  hog.set_target_pct(80.0);
+  EXPECT_DOUBLE_EQ(hog.target_pct(), 80.0);
+  EXPECT_NEAR(hog.demand(0, 0.01).cpu_pct, 80.0, 3.0);
+  EXPECT_THROW(hog.set_target_pct(150.0), util::ContractViolation);
+}
+
+TEST(CpuHog, RejectsOutOfRangeTarget) {
+  EXPECT_THROW(CpuHog(-1.0), util::ContractViolation);
+  EXPECT_THROW(CpuHog(101.0), util::ContractViolation);
+}
+
+TEST(MemHog, HoldsResidentAllocation) {
+  MemHog hog(50.0, 2);
+  const sim::ProcessDemand d = hog.demand(0, 0.01);
+  EXPECT_DOUBLE_EQ(d.mem_mib, 50.0);
+  EXPECT_LT(d.cpu_pct, 0.5);  // memory workload barely uses CPU
+  EXPECT_DOUBLE_EQ(d.io_blocks, 0.0);
+  EXPECT_TRUE(d.flows.empty());
+}
+
+TEST(IoHog, SubmitsBlocksAtRate) {
+  IoHog hog(46.0, 3);
+  double blocks = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) blocks += hog.demand(0, 0.01).io_blocks;
+  EXPECT_NEAR(blocks / (n * 0.01), 46.0, 0.5);
+}
+
+TEST(IoHog, PumpCpuMatchesFig2c) {
+  // 0.84 % at the top Table II level of 72 blocks/s.
+  EXPECT_NEAR(IoHog::pump_cpu_pct(72.0), 0.84, 1e-9);
+  EXPECT_NEAR(IoHog::pump_cpu_pct(0.0), 0.7, 1e-9);
+}
+
+TEST(NetPing, EmitsFlowAtRate) {
+  NetPing ping(640.0, sim::NetTarget{}, 4);
+  double kbits = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const sim::ProcessDemand d = ping.demand(0, 0.01);
+    for (const auto& f : d.flows) kbits += f.kbits;
+  }
+  EXPECT_NEAR(kbits / (n * 0.01), 640.0, 1.0);
+}
+
+TEST(NetPing, ZeroRateEmitsNoFlow) {
+  NetPing ping(0.0, sim::NetTarget{}, 4);
+  EXPECT_TRUE(ping.demand(0, 0.01).flows.empty());
+}
+
+TEST(NetPing, PumpCpuMatchesFig2e) {
+  EXPECT_NEAR(NetPing::pump_cpu_pct(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NetPing::pump_cpu_pct(1280.0), 3.0, 0.01);
+}
+
+TEST(NetPing, CarriesTarget) {
+  const sim::NetTarget t{3, "peer"};
+  NetPing ping(100.0, t, 4);
+  const sim::ProcessDemand d = ping.demand(0, 0.01);
+  ASSERT_EQ(d.flows.size(), 1u);
+  EXPECT_EQ(d.flows[0].target.pm_id, 3);
+  EXPECT_EQ(d.flows[0].target.vm_name, "peer");
+}
+
+TEST(Levels, TableIIValues) {
+  EXPECT_DOUBLE_EQ(level_value(WorkloadKind::kCpu, 0), 1.0);
+  EXPECT_DOUBLE_EQ(level_value(WorkloadKind::kCpu, 4), 99.0);
+  EXPECT_DOUBLE_EQ(level_value(WorkloadKind::kMem, 4), 50.0);
+  EXPECT_DOUBLE_EQ(level_value(WorkloadKind::kIo, 2), 27.0);
+  EXPECT_DOUBLE_EQ(level_value(WorkloadKind::kBw, 4), 1280.0);
+  EXPECT_THROW((void)level_value(WorkloadKind::kCpu, 5),
+               util::ContractViolation);
+}
+
+TEST(Levels, NamesAndUnits) {
+  EXPECT_EQ(kind_name(WorkloadKind::kCpu), "CPU-intensive");
+  EXPECT_EQ(kind_unit(WorkloadKind::kIo), "blocks/s");
+  EXPECT_EQ(kind_unit(WorkloadKind::kBw), "Kb/s");
+}
+
+/// Parametric factory check over the whole Table II grid.
+class FactorySweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(FactorySweep, BuildsWorkloadWithMatchingBehaviour) {
+  const auto kind = static_cast<WorkloadKind>(std::get<0>(GetParam()));
+  const std::size_t level = std::get<1>(GetParam());
+  const auto w = make_workload(kind, level, sim::NetTarget{}, 5);
+  ASSERT_NE(w, nullptr);
+  const sim::ProcessDemand d = w->demand(0, 0.01);
+  const double v = level_value(kind, level);
+  switch (kind) {
+    case WorkloadKind::kCpu:
+      EXPECT_NEAR(d.cpu_pct, v, 3.0);
+      break;
+    case WorkloadKind::kMem:
+      EXPECT_DOUBLE_EQ(d.mem_mib, v);
+      break;
+    case WorkloadKind::kIo:
+      EXPECT_NEAR(d.io_blocks / 0.01, v, v * 0.2 + 0.5);
+      break;
+    case WorkloadKind::kBw: {
+      double kbits = 0.0;
+      for (const auto& f : d.flows) kbits += f.kbits;
+      EXPECT_NEAR(kbits / 0.01, v, v * 0.2 + 0.1);
+      break;
+    }
+  }
+  EXPECT_FALSE(w->label().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, FactorySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u)));
+
+}  // namespace
+}  // namespace voprof::wl

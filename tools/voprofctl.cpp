@@ -1,0 +1,281 @@
+/// \file voprofctl.cpp
+/// Command-line front-end for the voprof pipeline — the workflow a
+/// cloud operator would actually run:
+///
+///   voprofctl train   --out models.txt [--method lms|ols]
+///                     [--duration s] [--seed n]
+///       Run the Table II x {1,2,4}-VM sweep on the simulated testbed
+///       and fit the Sec. V models.
+///
+///   voprofctl export-trace --out data.csv [--duration s]
+///       Dump the raw training observations as CSV (per-second rows).
+///
+///   voprofctl fit     --trace data.csv --out models.txt [--method ...]
+///       Trace-driven fitting from a previously exported (or external)
+///       observation CSV.
+///
+///   voprofctl predict --models models.txt --cpu C --mem M --io I
+///                     --bw B [--vms N]
+///       Predict PM utilization (incl. Dom0 + hypervisor) for a
+///       deployment whose summed VM utilization is (C, M, I, B).
+///
+///   voprofctl profile --kind cpu|mem|io|bw --value V [--vms N]
+///                     [--duration s]
+///       Measure one micro-benchmark cell and print all entities.
+///
+///   voprofctl rubis   --models models.txt [--clients N] [--duration s]
+///       Deploy the two-tier RUBiS application and report prediction
+///       accuracy against the measured PMs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "voprof/scenario/scenario.hpp"
+#include "voprof/util/cli.hpp"
+#include "voprof/voprof.hpp"
+
+namespace {
+
+using namespace voprof;
+
+int usage() {
+  std::cout <<
+      "usage: voprofctl <command> [flags]\n"
+      "commands:\n"
+      "  train         run the micro-benchmark sweep and fit the models\n"
+      "                  --out FILE [--method lms|ols] [--duration SEC]\n"
+      "                  [--seed N]\n"
+      "  export-trace  dump sweep observations as CSV\n"
+      "                  --out FILE [--duration SEC] [--seed N]\n"
+      "  fit           fit models from an observation CSV\n"
+      "                  --trace FILE --out FILE [--method lms|ols]\n"
+      "  predict       predict PM utilization from summed VM metrics\n"
+      "                  --models FILE --cpu PCT --mem MIB --io BLKS\n"
+      "                  --bw KBPS [--vms N]\n"
+      "  profile       measure one workload cell\n"
+      "                  --kind cpu|mem|io|bw --value V [--vms N]\n"
+      "                  [--duration SEC]\n"
+      "  rubis         RUBiS prediction-accuracy run\n"
+      "                  --models FILE [--clients N] [--duration SEC]\n"
+      "  inspect       bootstrap confidence intervals for the model\n"
+      "                  coefficients fitted from an observation CSV\n"
+      "                  --trace FILE [--method lms|ols] [--resamples N]\n"
+      "  simulate      run a declarative scenario (INI) and print the\n"
+      "                  measured utilizations\n"
+      "                  --scenario FILE [--csv OUT.csv]\n";
+  return 2;
+}
+
+model::RegressionMethod parse_method(const std::string& name) {
+  if (name == "lms") return model::RegressionMethod::kLms;
+  if (name == "ols") return model::RegressionMethod::kOls;
+  throw util::ContractViolation("unknown method (want lms|ols): " + name);
+}
+
+wl::WorkloadKind parse_kind(const std::string& name) {
+  if (name == "cpu") return wl::WorkloadKind::kCpu;
+  if (name == "mem") return wl::WorkloadKind::kMem;
+  if (name == "io") return wl::WorkloadKind::kIo;
+  if (name == "bw") return wl::WorkloadKind::kBw;
+  throw util::ContractViolation("unknown kind (want cpu|mem|io|bw): " + name);
+}
+
+model::TrainerConfig trainer_config(const util::CliArgs& args) {
+  model::TrainerConfig cfg;
+  cfg.duration = util::seconds(args.get_double("duration", 60.0));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return cfg;
+}
+
+int cmd_train(const util::CliArgs& args) {
+  const model::Trainer trainer(trainer_config(args));
+  const auto method = parse_method(args.get_or("method", "lms"));
+  std::cout << "training (" << args.get_or("method", "lms")
+            << ", full Table II sweep x {1,2,4} VMs)...\n";
+  const model::TrainedModels models = trainer.train(method);
+  model::save_models_file(models, args.get("out"));
+  std::cout << "wrote " << args.get("out") << " ("
+            << models.data.size() << " observations)\n";
+  const model::LinearFit& cpu =
+      models.single.fit_for(model::MetricIndex::kCpu);
+  std::printf("PM-CPU fit: R^2 %.4f, rms %.3f\n", cpu.r_squared,
+              cpu.residual_rms);
+  return 0;
+}
+
+int cmd_export_trace(const util::CliArgs& args) {
+  const model::Trainer trainer(trainer_config(args));
+  std::cout << "collecting observations...\n";
+  const model::TrainingSet data = trainer.collect();
+  model::training_set_to_csv(data).save(args.get("out"));
+  std::cout << "wrote " << args.get("out") << " (" << data.size()
+            << " rows)\n";
+  return 0;
+}
+
+int cmd_fit(const util::CliArgs& args) {
+  const model::TrainingSet data = model::training_set_from_csv(
+      util::CsvDocument::load(args.get("trace")));
+  const auto method = parse_method(args.get_or("method", "lms"));
+  const model::TrainedModels models =
+      model::Trainer::fit_models(data, method);
+  model::save_models_file(models, args.get("out"));
+  std::cout << "fitted " << data.size() << " observations -> "
+            << args.get("out") << '\n';
+  return 0;
+}
+
+int cmd_predict(const util::CliArgs& args) {
+  const model::TrainedModels models =
+      model::load_models_file(args.get("models"));
+  const model::UtilVec sum{args.get_double("cpu", 0.0),
+                           args.get_double("mem", 0.0),
+                           args.get_double("io", 0.0),
+                           args.get_double("bw", 0.0)};
+  const int n = args.get_int("vms", 1);
+  const model::UtilVec pm = models.multi.predict(sum, n);
+  util::AsciiTable t("predicted PM utilization for " + std::to_string(n) +
+                     " co-located VM(s)");
+  t.set_header({"metric", "sum of VMs", "predicted PM", "overhead"});
+  t.add_row({"CPU (%)", util::fmt(sum.cpu, 2),
+             util::fmt(models.multi.predict_pm_cpu_indirect(sum, n), 2),
+             util::fmt(models.multi.predict_dom0_cpu(sum, n), 2) +
+                 " Dom0 + " +
+                 util::fmt(models.multi.predict_hyp_cpu(sum, n), 2) +
+                 " hyp"});
+  t.add_row({"MEM (MiB)", util::fmt(sum.mem, 1), util::fmt(pm.mem, 1),
+             util::fmt(pm.mem - sum.mem, 1)});
+  t.add_row({"I/O (blk/s)", util::fmt(sum.io, 1), util::fmt(pm.io, 1),
+             util::fmt(pm.io - sum.io, 1)});
+  t.add_row({"BW (Kb/s)", util::fmt(sum.bw, 1), util::fmt(pm.bw, 1),
+             util::fmt(pm.bw - sum.bw, 1)});
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_profile(const util::CliArgs& args) {
+  const wl::WorkloadKind kind = parse_kind(args.get("kind"));
+  const double value = args.get_double("value", 50.0);
+  const int n_vms = args.get_int("vms", 1);
+  const double duration = args.get_double("duration", 60.0);
+
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{},
+                       static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
+  for (int i = 0; i < n_vms; ++i) {
+    sim::VmSpec spec;
+    spec.name = "vm" + std::to_string(i + 1);
+    pm.add_vm(spec).attach(wl::make_workload_value(
+        kind, value, sim::NetTarget{}, 7 + static_cast<std::uint64_t>(i)));
+  }
+  mon::MonitorScript monitor(engine, pm);
+  const mon::MeasurementReport& report =
+      monitor.measure(util::seconds(duration));
+
+  util::AsciiTable t(wl::kind_name(kind) + " @ " + util::fmt(value, 2) +
+                     " " + wl::kind_unit(kind) + " x " +
+                     std::to_string(n_vms) + " VM(s), " +
+                     util::fmt(duration, 0) + " s");
+  t.set_header({"entity", "CPU(%)", "MEM(MiB)", "I/O(blk/s)", "BW(Kb/s)"});
+  for (const auto& key : report.keys()) {
+    const mon::UtilSample u = report.mean(key);
+    t.add_row({key, util::fmt(u.cpu_pct, 2), util::fmt(u.mem_mib, 1),
+               util::fmt(u.io_blocks_per_s, 2), util::fmt(u.bw_kbps, 2)});
+  }
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_inspect(const util::CliArgs& args) {
+  const model::TrainingSet data = model::training_set_from_csv(
+      util::CsvDocument::load(args.get("trace")));
+  model::BootstrapConfig cfg;
+  cfg.method = parse_method(args.get_or("method", "ols"));
+  cfg.resamples = args.get_int("resamples", 200);
+  std::cout << "bootstrapping " << cfg.resamples << " resamples over "
+            << data.with_vm_count(1).size() << " single-VM rows...\n";
+  std::cout << model::diagnostics_table(
+      model::bootstrap_single_vm(data, cfg));
+  return 0;
+}
+
+int cmd_simulate(const util::CliArgs& args) {
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::load(args.get("scenario"));
+  std::cout << "running scenario: " << spec.machines << " machine(s), "
+            << spec.vms.size() << " VM(s), "
+            << util::fmt(spec.duration_s, 0) << " s\n\n";
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+  std::cout << result.summary();
+  if (args.has("csv")) {
+    // Export the first monitored machine's full series.
+    const auto& [machine, report] = *result.reports.begin();
+    mon::report_to_csv(report).save(args.get("csv"));
+    std::cout << "wrote machine " << machine << " series to "
+              << args.get("csv") << '\n';
+  }
+  return 0;
+}
+
+int cmd_rubis(const util::CliArgs& args) {
+  const model::TrainedModels models =
+      model::load_models_file(args.get("models"));
+  const int clients = args.get_int("clients", 500);
+  const double duration = args.get_double("duration", 120.0);
+
+  sim::Engine engine;
+  sim::Cluster cluster(engine, sim::CostModel{}, 4242);
+  cluster.add_machine(sim::MachineSpec{});
+  cluster.add_machine(sim::MachineSpec{});
+  cluster.add_machine(sim::MachineSpec{});
+  rubis::DeployOptions opt;
+  opt.clients = clients;
+  const rubis::RubisInstance inst = rubis::deploy_rubis(cluster, 0, 1, 2, opt);
+  engine.run_for(util::seconds(10.0));
+  mon::MonitorScript mon1(engine, cluster.machine(0));
+  mon::MonitorScript mon2(engine, cluster.machine(1));
+  mon1.start();
+  mon2.start();
+  const double mark = inst.client->completed();
+  engine.run_for(util::seconds(duration));
+  mon1.stop();
+  mon2.stop();
+  std::printf("throughput: %.1f req/s at %d clients\n",
+              (inst.client->completed() - mark) / duration, clients);
+
+  const model::Predictor predictor(models.multi);
+  const auto e1 = predictor.evaluate(mon1.report(), {inst.web_vm});
+  const auto e2 = predictor.evaluate(mon2.report(), {inst.db_vm});
+  util::AsciiTable t("prediction accuracy (90th percentile error)");
+  t.set_header({"PM", "CPU err(%)", "BW err(%)"});
+  t.add_row({"PM1 (web)",
+             util::fmt(e1.of(model::MetricIndex::kCpu).error_at_fraction(0.9), 2),
+             util::fmt(e1.of(model::MetricIndex::kBw).error_at_fraction(0.9), 2)});
+  t.add_row({"PM2 (db)",
+             util::fmt(e2.of(model::MetricIndex::kCpu).error_at_fraction(0.9), 2),
+             util::fmt(e2.of(model::MetricIndex::kBw).error_at_fraction(0.9), 2)});
+  std::cout << t.str();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args = util::CliArgs::parse(argc, argv);
+    const std::string& cmd = args.command();
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "export-trace") return cmd_export_trace(args);
+    if (cmd == "fit") return cmd_fit(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "rubis") return cmd_rubis(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "voprofctl: " << e.what() << '\n';
+    return 1;
+  }
+}
