@@ -68,7 +68,7 @@ class Xoshiro256ss {
     for (std::uint64_t word : kJump) {
       for (int b = 0; b < 64; ++b) {
         if (word & (1ULL << b)) {
-          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+          for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
         }
         (*this)();
       }
@@ -118,7 +118,9 @@ class Rng {
       have_spare_ = false;
       return spare_;
     }
-    double u, v, s;
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
     do {
       u = uniform(-1.0, 1.0);
       v = uniform(-1.0, 1.0);
@@ -138,7 +140,7 @@ class Rng {
   /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
   [[nodiscard]] double exponential(double rate) {
     VOPROF_REQUIRE(rate > 0.0);
-    double u;
+    double u = 0.0;
     do {
       u = uniform();
     } while (u <= 0.0);

@@ -61,6 +61,15 @@ class DomU final : public Domain {
   bool detach_shared(GuestProcess* process) noexcept;
   [[nodiscard]] std::size_t process_count() const noexcept;
 
+  /// Expires when this DomU is destroyed. Holders of raw DomU pointers
+  /// that can outlive the VM (e.g. the monitor's guest agents, when a
+  /// VM is removed mid-measurement) must check it before touching the
+  /// domain. Live migration moves the owning unique_ptr, so the token
+  /// stays valid across migrations.
+  [[nodiscard]] std::weak_ptr<const void> liveness() const noexcept {
+    return liveness_;
+  }
+
   /// Phase A: aggregate demand over all processes for one tick.
   /// The per-VM I/O cap (VmSpec::io_cap_blocks_per_s) is applied here —
   /// the frontend driver is where Xen enforces it.
@@ -91,6 +100,7 @@ class DomU final : public Domain {
   std::vector<std::unique_ptr<GuestProcess>> owned_;
   std::vector<GuestProcess*> shared_;
   ProcessDemand last_demand_;
+  std::shared_ptr<const void> liveness_ = std::make_shared<const int>(0);
 };
 
 /// The device-driver domain. Its CPU demand is computed by the machine

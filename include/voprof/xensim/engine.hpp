@@ -60,8 +60,8 @@ class Engine {
 
  private:
   struct Event {
-    util::SimMicros at;
-    std::uint64_t seq;  // tiebreaker: FIFO among equal timestamps
+    util::SimMicros at = 0;
+    std::uint64_t seq = 0;  // tiebreaker: FIFO among equal timestamps
     std::function<void()> fn;
   };
   struct EventOrder {

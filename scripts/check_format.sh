@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Verify that every tracked C++ file is clang-format clean (dry run, no
+# rewriting). Used by the `format-check` CMake target and the CI lint job.
+#
+# Exit codes: 0 clean, 1 violations found, 2 environment problem.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root" || exit 2
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: '$CLANG_FORMAT' not found in PATH." >&2
+  echo "check_format: install clang-format or set CLANG_FORMAT=<binary>." >&2
+  exit 2
+fi
+
+# Tracked C++ sources only; fixtures are deliberately ill-formed inputs
+# for voprof-lint tests, not style exemplars.
+files=$(git ls-files -- '*.cpp' '*.cc' '*.cxx' '*.hpp' '*.h' '*.hh' \
+          ':!tests/lint_fixtures/**')
+
+if [ -z "$files" ]; then
+  echo "check_format: no tracked C++ files found." >&2
+  exit 2
+fi
+
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+if "$CLANG_FORMAT" --dry-run -Werror $files; then
+  echo "check_format: all files formatted."
+  exit 0
+fi
+echo "check_format: run '$CLANG_FORMAT -i' on the files above." >&2
+exit 1

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "voprof/core/invariants.hpp"
 #include "voprof/util/assert.hpp"
 #include "voprof/util/stats.hpp"
 
@@ -32,6 +33,9 @@ void finalize_fit(LinearFit& f, const util::Matrix& x,
   double ss_tot = 0.0;
   for (double v : y) ss_tot += (v - ybar) * (v - ybar);
   f.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  // Every fit funnels through here; a NaN coefficient would silently
+  // poison all downstream predictions (Sec. V models).
+  if (invariants_enabled()) check_fit(f, "regression fit");
 }
 
 }  // namespace

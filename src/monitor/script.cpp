@@ -1,5 +1,6 @@
 #include "voprof/monitor/script.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "voprof/util/assert.hpp"
@@ -88,10 +89,15 @@ util::CsvDocument report_to_csv(const MeasurementReport& report) {
 /// script starts inside every guest). Pure CPU self-overhead.
 class MonitorScript::GuestAgent final : public sim::GuestProcess {
  public:
-  GuestAgent(sim::DomU& vm, double cpu_pct) : vm_(vm), cpu_pct_(cpu_pct) {
+  GuestAgent(sim::DomU& vm, double cpu_pct)
+      : vm_(vm), vm_alive_(vm.liveness()), cpu_pct_(cpu_pct) {
     vm_.attach_shared(this);
   }
-  ~GuestAgent() override { vm_.detach_shared(this); }
+  // The VM may have been removed mid-measurement; only detach while
+  // its liveness token is still valid (it survives live migration).
+  ~GuestAgent() override {
+    if (!vm_alive_.expired()) vm_.detach_shared(this);
+  }
 
   GuestAgent(const GuestAgent&) = delete;
   GuestAgent& operator=(const GuestAgent&) = delete;
@@ -108,6 +114,7 @@ class MonitorScript::GuestAgent final : public sim::GuestProcess {
 
  private:
   sim::DomU& vm_;
+  std::weak_ptr<const void> vm_alive_;
   double cpu_pct_;
 };
 

@@ -229,8 +229,8 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
   double outbound_kbits = 0.0;
   struct PendingOut {
     NetTarget target;
-    double kbits;
-    int tag;
+    double kbits = 0.0;
+    int tag = 0;
   };
   std::vector<PendingOut> pending_out;
 

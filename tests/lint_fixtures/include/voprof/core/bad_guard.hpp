@@ -1,0 +1,10 @@
+// Fixture: header without '#pragma once' or an include guard
+// (header-guard).
+
+namespace voprof::model {
+
+struct Unguarded {
+  double value = 0.0;
+};
+
+}  // namespace voprof::model

@@ -1,0 +1,14 @@
+#ifndef VOPROF_TESTS_LINT_FIXTURES_GOOD_GUARD_HPP
+#define VOPROF_TESTS_LINT_FIXTURES_GOOD_GUARD_HPP
+// Fixture: a classic #ifndef include guard is accepted in place of
+// '#pragma once'.
+
+namespace voprof::util {
+
+struct Guarded {
+  double value = 0.0;
+};
+
+}  // namespace voprof::util
+
+#endif  // VOPROF_TESTS_LINT_FIXTURES_GOOD_GUARD_HPP

@@ -1,0 +1,10 @@
+// Fixture: library code writing to stdout (cout-in-library).
+#include <iostream>
+
+namespace voprof::model {
+
+void debug_dump(double r_squared) {
+  std::cout << "r^2 = " << r_squared << "\n";
+}
+
+}  // namespace voprof::model

@@ -1,0 +1,10 @@
+// Fixture: model code computing in single precision (float-in-model).
+namespace voprof::model {
+
+float lossy_mean(const float* values, int n) {
+  float sum = 0.0F;
+  for (int i = 0; i < n; ++i) sum += values[i];
+  return sum / static_cast<float>(n);
+}
+
+}  // namespace voprof::model

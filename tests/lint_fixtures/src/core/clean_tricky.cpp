@@ -1,0 +1,28 @@
+// Fixture: everything here is a near-miss that must NOT fire.
+//   - "float" and rand() only in comments, strings and raw strings
+//   - static_assert and my_assert() are not assert()
+//   - rng.rand() style member calls are not libc rand()
+#include <string>
+
+namespace voprof::model {
+
+static_assert(sizeof(double) == 8, "doubles are 64-bit");
+
+struct FakeRng {
+  // A member named rand is allowed; only the libc function is banned.
+  [[nodiscard]] int rand_like() const { return 4; }
+};
+
+inline void my_assert(bool) {}
+
+std::string describe() {
+  FakeRng rng;
+  (void)rng.rand_like();
+  my_assert(true);
+  // float would be wrong here; rand() too.
+  std::string s = "uses float and rand() and assert( in a string";
+  s += R"(raw string with float, rand() and assert( inside)";
+  return s;
+}
+
+}  // namespace voprof::model

@@ -1,0 +1,12 @@
+// Fixture: libc randomness instead of voprof::util::Rng (raw-rand,
+// twice: srand and rand).
+#include <cstdlib>
+
+namespace voprof::util {
+
+int roll_die() {
+  std::srand(42U);
+  return std::rand() % 6 + 1;
+}
+
+}  // namespace voprof::util

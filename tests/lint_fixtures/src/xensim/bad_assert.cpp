@@ -1,0 +1,12 @@
+// Fixture: naked assert() in engine code (naked-assert, twice: the
+// include and the call site).
+#include <cassert>
+
+namespace voprof::sim {
+
+double checked_ratio(double num, double den) {
+  assert(den != 0.0);
+  return num / den;
+}
+
+}  // namespace voprof::sim

@@ -1,0 +1,34 @@
+/// \file voprof_lint.cpp
+/// CLI for the project-convention linter:
+///   voprof-lint <repo-root>
+/// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "-h" ||
+      std::string(argv[1]) == "--help") {
+    std::cerr << "usage: voprof-lint <repo-root>\n"
+              << "Checks voprof project conventions (naked-assert, "
+                 "float-in-model,\nheader-guard, cout-in-library, raw-rand); "
+                 "see docs/STATIC_ANALYSIS.md.\n";
+    return 2;
+  }
+  try {
+    const voprof::lint::LintReport report =
+        voprof::lint::lint_tree(argv[1]);
+    for (const voprof::lint::Finding& f : report.findings) {
+      std::cout << f.format() << "\n";
+    }
+    std::cout << "voprof-lint: " << report.files_scanned << " files, "
+              << report.findings.size() << " finding(s)\n";
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
