@@ -169,9 +169,9 @@ int main() {
 
   std::cout << "Training both estimators on the identical Table II sweep "
                "(2 min/cell)...\n\n";
-  const model::TrainedModels lms =
+  const model::TrainedModels& lms =
       bench::train_paper_models(model::RegressionMethod::kLms);
-  const model::TrainedModels ols =
+  const model::TrainedModels& ols =
       bench::train_paper_models(model::RegressionMethod::kOls);
 
   util::AsciiTable t(

@@ -46,7 +46,7 @@ int main() {
                "  naive sum   : PM = sum of VMs (placement works "
                "[5]-[8])\n\n";
 
-  const model::TrainedModels models = bench::train_paper_models();
+  const model::TrainedModels& models = bench::train_paper_models();
   const model::Dom0IoModel dom0io = model::Dom0IoModel::fit(
       models.data, model::RegressionMethod::kLms);
 

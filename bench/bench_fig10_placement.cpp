@@ -16,13 +16,16 @@
 #include "model_common.hpp"
 #include "voprof/placement/evaluation.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace voprof;
+  const runner::RunOptions opts = runner::options_from_cli(argc, argv);
   std::cout << "=== Reproduction of Figure 10: virtualization-overhead "
                "aware resource provisioning ===\n"
                "Training the overhead model, profiling VM roles with the "
                "CloudScale demand predictor...\n\n";
-  const model::TrainedModels models = bench::train_paper_models();
+  const model::TrainedModels& models =
+      bench::train_paper_models(model::RegressionMethod::kLms,
+                                util::seconds(120.0), opts.jobs);
 
   place::EvalConfig cfg;
   cfg.repetitions = 10;  // paper: "repeated this VM placement ... 10 times"
@@ -48,11 +51,22 @@ int main() {
       "latency = Little's-law mean response time (s)");
   tb.set_header({"scenario", "VOA", "VOU", "VOA latency", "VOU latency"});
 
+  // The 4 scenarios x {VOA, VOU} cells are independent once the role
+  // demands above are materialized; fan them over the workers and
+  // print in scenario order.
+  runner::SweepRunner sweep(opts);
+  const std::vector<place::CellStats> cells =
+      sweep.map(8, [&eval](std::size_t i) {
+        return eval.run_cell(static_cast<int>(i / 2), i % 2 == 0);
+      });
+
   double prev_vou = 1e9;
   bool vou_monotone = true, voa_wins = true;
   for (int scenario = 0; scenario <= 3; ++scenario) {
-    const place::CellStats voa = eval.run_cell(scenario, true);
-    const place::CellStats vou = eval.run_cell(scenario, false);
+    const place::CellStats& voa =
+        cells[static_cast<std::size_t>(scenario) * 2];
+    const place::CellStats& vou =
+        cells[static_cast<std::size_t>(scenario) * 2 + 1];
     ta.add_row({std::to_string(scenario), util::fmt(voa.mean_throughput, 1),
                 util::fmt(voa.p10_throughput, 1),
                 util::fmt(voa.p90_throughput, 1),

@@ -4,6 +4,10 @@
 /// workload sweep. Prints measured values alongside the anchor values
 /// the paper's text states; points the paper does not quote
 /// numerically are printed without an anchor.
+///
+/// Cells fan across workers (`--jobs N`, default all hardware
+/// threads); each keeps its historical per-cell seed, so the output is
+/// byte-identical to the serial run for every jobs value.
 
 #include <cstdio>
 #include <iostream>
@@ -13,20 +17,22 @@
 namespace {
 
 using namespace voprof;
-using bench::measure_cell;
+using bench::measure_sweep;
 using bench::only;
 using bench::vs;
 using wl::WorkloadKind;
 
-void fig2a() {
+void fig2a(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 2(a): CPU utilizations for CPU-intensive workload (1 VM)");
   t.set_header({"input(%)", "VM", "Dom0", "Hypervisor"});
-  const double inputs[] = {1, 30, 60, 90, 99};
+  const std::vector<double> inputs = {1, 30, 60, 90, 99};
+  const auto cells = measure_sweep(WorkloadKind::kCpu, inputs, 100, 1, false,
+                                   opts);
   double dom0_first = 0, dom0_last = 0, hyp_first = 0, hyp_last = 0;
-  for (double in : inputs) {
-    const auto r = measure_cell(WorkloadKind::kCpu, in, 1, false,
-                                static_cast<std::uint64_t>(in) + 100);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     std::vector<std::string> row = {only(in, 0), vs(r.vm.cpu_pct, in)};
     if (in == 1) {
       row.push_back(vs(r.dom0.cpu_pct, 16.8));
@@ -52,14 +58,17 @@ void fig2a() {
   std::cout << '\n';
 }
 
-void fig2b() {
+void fig2b(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 2(b): I/O utilizations for I/O-intensive workload (1 VM)");
   t.set_header({"input(blk/s)", "VM", "Dom0", "PM"});
+  const std::vector<double> inputs = {15, 19, 27, 46, 72};
+  const auto cells = measure_sweep(WorkloadKind::kIo, inputs, 200, 1, false,
+                                   opts);
   double ratio_at_max = 0;
-  for (double in : {15.0, 19.0, 27.0, 46.0, 72.0}) {
-    const auto r = measure_cell(WorkloadKind::kIo, in, 1, false,
-                                static_cast<std::uint64_t>(in) + 200);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     t.add_row({only(in, 0), vs(r.vm.io_blocks_per_s, in),
                vs(r.dom0.io_blocks_per_s, 0.0),
                only(r.pm.io_blocks_per_s)});
@@ -71,14 +80,16 @@ void fig2b() {
   std::cout << '\n';
 }
 
-void fig2c() {
+void fig2c(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 2(c): CPU utilizations for I/O-intensive workload (1 VM)");
   t.set_header({"input(blk/s)", "VM", "Dom0", "Hypervisor"});
-  for (double in : {15.0, 19.0, 27.0, 46.0, 72.0}) {
-    const auto r = measure_cell(WorkloadKind::kIo, in, 1, false,
-                                static_cast<std::uint64_t>(in) + 300);
-    t.add_row({only(in, 0), vs(r.vm.cpu_pct, 0.84, 2),
+  const std::vector<double> inputs = {15, 19, 27, 46, 72};
+  const auto cells = measure_sweep(WorkloadKind::kIo, inputs, 300, 1, false,
+                                   opts);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& r = cells[i];
+    t.add_row({only(inputs[i], 0), vs(r.vm.cpu_pct, 0.84, 2),
                vs(r.dom0.cpu_pct, 16.8), vs(r.hyp.cpu_pct, 2.8)});
   }
   std::cout << t.str();
@@ -86,14 +97,17 @@ void fig2c() {
                "sweep (VM I/O cap ~90 blk/s)\n\n";
 }
 
-void fig2d() {
+void fig2d(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 2(d): BW utilizations for BW-intensive workload (1 VM)");
   t.set_header({"input(Kb/s)", "VM", "Dom0", "PM", "overhead(B/s)"});
+  const std::vector<double> inputs = {1, 160, 320, 640, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 400, 1, false,
+                                   opts);
   double overhead_at_max = 0;
-  for (double in : {1.0, 160.0, 320.0, 640.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 1, false,
-                                static_cast<std::uint64_t>(in) + 400);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     const double overhead_bps =
         util::kbps_to_bytes_per_s(r.pm.bw_kbps - r.vm.bw_kbps);
     t.add_row({only(in, 0), vs(r.vm.bw_kbps, in, 0),
@@ -107,15 +121,18 @@ void fig2d() {
   std::cout << '\n';
 }
 
-void fig2e() {
+void fig2e(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 2(e): CPU utilizations for BW-intensive workload (1 VM)");
   t.set_header({"input(Kb/s)", "VM", "Dom0", "Hypervisor"});
+  const std::vector<double> inputs = {1, 160, 320, 640, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 500, 1, false,
+                                   opts);
   double dom0_lo = 0, dom0_hi = 0, hyp_lo = 0, hyp_hi = 0, vm_lo = 0,
          vm_hi = 0;
-  for (double in : {1.0, 160.0, 320.0, 640.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 1, false,
-                                static_cast<std::uint64_t>(in) + 500);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     std::vector<std::string> row = {only(in, 0)};
     if (in == 1.0) {
       row.push_back(vs(r.vm.cpu_pct, 0.5, 2));
@@ -150,15 +167,16 @@ void fig2e() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::RunOptions opts = runner::options_from_cli(argc, argv);
   std::cout << "=== Reproduction of Figure 2: resource utilizations for "
                "one VM ===\n"
                "Protocol: 1 s samples averaged over 2 simulated minutes "
                "(Sec. III-C).\n\n";
-  fig2a();
-  fig2b();
-  fig2c();
-  fig2d();
-  fig2e();
+  fig2a(opts);
+  fig2b(opts);
+  fig2c(opts);
+  fig2d(opts);
+  fig2e(opts);
   return 0;
 }

@@ -3,6 +3,9 @@
 /// a PM, each running the same Table II workload simultaneously
 /// (Sec. IV-B). The reported VM column is one VM (the paper: "the
 /// measurements of all VMs are exactly the same").
+///
+/// Cells fan across workers (`--jobs N`); historical per-cell seeds
+/// keep the output byte-identical to the serial run.
 
 #include <iostream>
 
@@ -11,19 +14,22 @@
 namespace {
 
 using namespace voprof;
-using bench::measure_cell;
+using bench::measure_sweep;
 using bench::only;
 using bench::vs;
 using wl::WorkloadKind;
 
-void fig3a() {
+void fig3a(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 3(a): CPU utilizations for CPU-intensive workload (2 VMs)");
   t.set_header({"input(%)", "VM", "Dom0", "Hypervisor"});
+  const std::vector<double> inputs = {1, 30, 60, 90, 100};
+  const auto cells = measure_sweep(WorkloadKind::kCpu, inputs, 1100, 2, false,
+                                   opts);
   double vm_at_100 = 0, dom0_hi = 0, hyp_hi = 0;
-  for (double in : {1.0, 30.0, 60.0, 90.0, 100.0}) {
-    const auto r = measure_cell(WorkloadKind::kCpu, in, 2, false,
-                                static_cast<std::uint64_t>(in) + 1100);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     std::vector<std::string> row = {only(in, 0)};
     if (in == 100.0) {
       row.push_back(vs(r.vm.cpu_pct, 95.0));
@@ -47,14 +53,17 @@ void fig3a() {
   std::cout << '\n';
 }
 
-void fig3b() {
+void fig3b(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 3(b): I/O utilizations for I/O-intensive workload (2 VMs)");
   t.set_header({"input(blk/s)", "VM", "sum(VMs)", "Dom0", "PM"});
+  const std::vector<double> inputs = {15, 30, 45, 60, 75};
+  const auto cells = measure_sweep(WorkloadKind::kIo, inputs, 1200, 2, false,
+                                   opts);
   double ratio = 0;
-  for (double in : {15.0, 30.0, 45.0, 60.0, 75.0}) {
-    const auto r = measure_cell(WorkloadKind::kIo, in, 2, false,
-                                static_cast<std::uint64_t>(in) + 1200);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     t.add_row({only(in, 0), only(r.vm.io_blocks_per_s),
                only(r.vm_sum.io_blocks_per_s),
                vs(r.dom0.io_blocks_per_s, 0.0), only(r.pm.io_blocks_per_s)});
@@ -66,14 +75,16 @@ void fig3b() {
   std::cout << '\n';
 }
 
-void fig3c() {
+void fig3c(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 3(c): CPU utilizations for I/O-intensive workload (2 VMs)");
   t.set_header({"input(blk/s)", "VM", "Dom0", "Hypervisor"});
-  for (double in : {15.0, 30.0, 45.0, 60.0, 75.0}) {
-    const auto r = measure_cell(WorkloadKind::kIo, in, 2, false,
-                                static_cast<std::uint64_t>(in) + 1300);
-    t.add_row({only(in, 0), vs(r.vm.cpu_pct, 0.84, 2),
+  const std::vector<double> inputs = {15, 30, 45, 60, 75};
+  const auto cells = measure_sweep(WorkloadKind::kIo, inputs, 1300, 2, false,
+                                   opts);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& r = cells[i];
+    t.add_row({only(inputs[i], 0), vs(r.vm.cpu_pct, 0.84, 2),
                vs(r.dom0.cpu_pct, 17.4), vs(r.hyp.cpu_pct, 2.7)});
   }
   std::cout << t.str();
@@ -81,14 +92,17 @@ void fig3c() {
                "co-location adds ~2% Dom0 CPU vs Fig. 2(c)\n\n";
 }
 
-void fig3d() {
+void fig3d(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 3(d): BW utilizations for BW-intensive workload (2 VMs)");
   t.set_header({"input(Kb/s)", "VM", "sum(VMs)", "Dom0", "PM"});
+  const std::vector<double> inputs = {1, 320, 640, 960, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 1400, 2, false,
+                                   opts);
   double frac = 0;
-  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 2, false,
-                                static_cast<std::uint64_t>(in) + 1400);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     t.add_row({only(in, 0), only(r.vm.bw_kbps, 0), only(r.vm_sum.bw_kbps, 0),
                vs(r.dom0.bw_kbps, 0.0, 0), only(r.pm.bw_kbps, 0)});
     if (in == 1280.0) {
@@ -100,14 +114,17 @@ void fig3d() {
   std::cout << '\n';
 }
 
-void fig3e() {
+void fig3e(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 3(e): CPU utilizations for BW-intensive workload (2 VMs)");
   t.set_header({"input(Kb/s)", "VM", "Dom0", "Hypervisor"});
+  const std::vector<double> inputs = {1, 320, 640, 960, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 1500, 2, false,
+                                   opts);
   double dom0_lo = 0, dom0_hi = 0, hyp_lo = 0, hyp_hi = 0;
-  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 2, false,
-                                static_cast<std::uint64_t>(in) + 1500);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     std::vector<std::string> row = {only(in, 0), only(r.vm.cpu_pct, 2)};
     if (in == 1.0) {
       row.push_back(vs(r.dom0.cpu_pct, 17.1));
@@ -137,13 +154,14 @@ void fig3e() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::RunOptions opts = runner::options_from_cli(argc, argv);
   std::cout << "=== Reproduction of Figure 3: resource utilizations for "
                "two co-located VMs ===\n\n";
-  fig3a();
-  fig3b();
-  fig3c();
-  fig3d();
-  fig3e();
+  fig3a(opts);
+  fig3b(opts);
+  fig3c(opts);
+  fig3d(opts);
+  fig3e(opts);
   return 0;
 }

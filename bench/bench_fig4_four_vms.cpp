@@ -1,6 +1,9 @@
 /// \file bench_fig4_four_vms.cpp
 /// Reproduces Figure 4: resource utilizations for four VMs co-located
 /// in a PM (Sec. IV-B).
+///
+/// Cells fan across workers (`--jobs N`); historical per-cell seeds
+/// keep the output byte-identical to the serial run.
 
 #include <iostream>
 
@@ -9,19 +12,22 @@
 namespace {
 
 using namespace voprof;
-using bench::measure_cell;
+using bench::measure_sweep;
 using bench::only;
 using bench::vs;
 using wl::WorkloadKind;
 
-void fig4a() {
+void fig4a(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 4(a): CPU utilizations for CPU-intensive workload (4 VMs)");
   t.set_header({"input(%)", "VM", "Dom0", "Hypervisor"});
+  const std::vector<double> inputs = {1, 30, 60, 90, 100};
+  const auto cells = measure_sweep(WorkloadKind::kCpu, inputs, 2100, 4, false,
+                                   opts);
   double vm_at_100 = 0, dom0_hi = 0, hyp_hi = 0;
-  for (double in : {1.0, 30.0, 60.0, 90.0, 100.0}) {
-    const auto r = measure_cell(WorkloadKind::kCpu, in, 4, false,
-                                static_cast<std::uint64_t>(in) + 2100);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     std::vector<std::string> row = {only(in, 0)};
     if (in == 100.0) {
       row.push_back(vs(r.vm.cpu_pct, 47.0));
@@ -43,14 +49,17 @@ void fig4a() {
   std::cout << '\n';
 }
 
-void fig4b() {
+void fig4b(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 4(b): I/O utilizations for I/O-intensive workload (4 VMs)");
   t.set_header({"input(blk/s)", "VM", "sum(VMs)", "Dom0", "PM"});
+  const std::vector<double> inputs = {15, 30, 45, 60, 75};
+  const auto cells = measure_sweep(WorkloadKind::kIo, inputs, 2200, 4, false,
+                                   opts);
   double ratio = 0;
-  for (double in : {15.0, 30.0, 45.0, 60.0, 75.0}) {
-    const auto r = measure_cell(WorkloadKind::kIo, in, 4, false,
-                                static_cast<std::uint64_t>(in) + 2200);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     t.add_row({only(in, 0), only(r.vm.io_blocks_per_s),
                only(r.vm_sum.io_blocks_per_s),
                vs(r.dom0.io_blocks_per_s, 0.0), only(r.pm.io_blocks_per_s)});
@@ -62,28 +71,33 @@ void fig4b() {
   std::cout << '\n';
 }
 
-void fig4c() {
+void fig4c(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 4(c): CPU utilizations for I/O-intensive workload (4 VMs)");
   t.set_header({"input(blk/s)", "VM", "Dom0", "Hypervisor"});
-  for (double in : {15.0, 30.0, 45.0, 60.0, 75.0}) {
-    const auto r = measure_cell(WorkloadKind::kIo, in, 4, false,
-                                static_cast<std::uint64_t>(in) + 2300);
-    t.add_row({only(in, 0), vs(r.vm.cpu_pct, 0.84, 2),
+  const std::vector<double> inputs = {15, 30, 45, 60, 75};
+  const auto cells = measure_sweep(WorkloadKind::kIo, inputs, 2300, 4, false,
+                                   opts);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& r = cells[i];
+    t.add_row({only(inputs[i], 0), vs(r.vm.cpu_pct, 0.84, 2),
                vs(r.dom0.cpu_pct, 17.4), vs(r.hyp.cpu_pct, 3.5)});
   }
   std::cout << t.str();
   std::cout << "  paper: flat series; Dom0 17.4%, VM 0.84%, hyp 3.5%\n\n";
 }
 
-void fig4d() {
+void fig4d(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 4(d): BW utilizations for BW-intensive workload (4 VMs)");
   t.set_header({"input(Kb/s)", "VM", "sum(VMs)", "Dom0", "PM"});
+  const std::vector<double> inputs = {1, 320, 640, 960, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 2400, 4, false,
+                                   opts);
   double frac = 0;
-  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 4, false,
-                                static_cast<std::uint64_t>(in) + 2400);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     t.add_row({only(in, 0), only(r.vm.bw_kbps, 0), only(r.vm_sum.bw_kbps, 0),
                vs(r.dom0.bw_kbps, 0.0, 0), only(r.pm.bw_kbps, 0)});
     if (in == 1280.0) {
@@ -95,14 +109,17 @@ void fig4d() {
   std::cout << '\n';
 }
 
-void fig4e() {
+void fig4e(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 4(e): CPU utilizations for BW-intensive workload (4 VMs)");
   t.set_header({"input(Kb/s)", "VM", "Dom0", "Hypervisor"});
+  const std::vector<double> inputs = {1, 320, 640, 960, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 2500, 4, false,
+                                   opts);
   double dom0_lo = 0, dom0_hi = 0, hyp_lo = 0, hyp_hi = 0;
-  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 4, false,
-                                static_cast<std::uint64_t>(in) + 2500);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     std::vector<std::string> row = {only(in, 0), only(r.vm.cpu_pct, 2)};
     if (in == 1.0) {
       row.push_back(vs(r.dom0.cpu_pct, 17.3));
@@ -131,13 +148,14 @@ void fig4e() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::RunOptions opts = runner::options_from_cli(argc, argv);
   std::cout << "=== Reproduction of Figure 4: resource utilizations for "
                "four co-located VMs ===\n\n";
-  fig4a();
-  fig4b();
-  fig4c();
-  fig4d();
-  fig4e();
+  fig4a(opts);
+  fig4b(opts);
+  fig4c(opts);
+  fig4d(opts);
+  fig4e(opts);
   return 0;
 }

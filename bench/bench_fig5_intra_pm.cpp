@@ -4,6 +4,9 @@
 /// redirected at the software bridge, so the PM's physical NIC sees
 /// nothing, while Dom0 still pays packet-processing CPU at a rate ~5x
 /// lower than for inter-PM traffic.
+///
+/// Cells fan across workers (`--jobs N`); historical per-cell seeds
+/// keep the output byte-identical to the serial run.
 
 #include <iostream>
 
@@ -12,19 +15,22 @@
 namespace {
 
 using namespace voprof;
-using bench::measure_cell;
+using bench::measure_cells;
+using bench::measure_sweep;
 using bench::only;
 using bench::vs;
 using wl::WorkloadKind;
 
-void fig5a() {
+void fig5a(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 5(a): BW utilizations for intra-PM BW workload (VM1 -> VM2)");
   t.set_header({"input(Kb/s)", "VM1", "Dom0", "PM"});
-  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 2, /*intra_pm=*/true,
-                                static_cast<std::uint64_t>(in) + 3100);
-    t.add_row({only(in, 0), vs(r.vm.bw_kbps, in, 0),
+  const std::vector<double> inputs = {1, 320, 640, 960, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 3100, 2,
+                                   /*intra_pm=*/true, opts);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& r = cells[i];
+    t.add_row({only(inputs[i], 0), vs(r.vm.bw_kbps, inputs[i], 0),
                vs(r.dom0.bw_kbps, 0.0, 0), vs(r.pm.bw_kbps, 0.0, 0)});
   }
   std::cout << t.str();
@@ -32,14 +38,17 @@ void fig5a() {
                "packets never occupy the NIC\n\n";
 }
 
-void fig5b() {
+void fig5b(const runner::RunOptions& opts) {
   util::AsciiTable t(
       "Figure 5(b): CPU utilizations for intra-PM BW workload");
   t.set_header({"input(Kb/s)", "VM1", "Dom0", "Hypervisor"});
+  const std::vector<double> inputs = {1, 320, 640, 960, 1280};
+  const auto cells = measure_sweep(WorkloadKind::kBw, inputs, 3200, 2,
+                                   /*intra_pm=*/true, opts);
   double dom0_lo = 0, dom0_hi = 0;
-  for (double in : {1.0, 320.0, 640.0, 960.0, 1280.0}) {
-    const auto r = measure_cell(WorkloadKind::kBw, in, 2, /*intra_pm=*/true,
-                                static_cast<std::uint64_t>(in) + 3200);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const double in = inputs[i];
+    const auto& r = cells[i];
     t.add_row({only(in, 0), only(r.vm.cpu_pct, 2), only(r.dom0.cpu_pct),
                only(r.hyp.cpu_pct)});
     if (in == 1.0) dom0_lo = r.dom0.cpu_pct;
@@ -51,14 +60,22 @@ void fig5b() {
                  intra_slope, 0.0021, 0.0008);
 
   // Cross-check the 5x claim against the inter-PM slope measured the
-  // same way.
-  const auto inter_lo = measure_cell(WorkloadKind::kBw, 1.0, 2, false, 3301);
-  const auto inter_hi =
-      measure_cell(WorkloadKind::kBw, 1280.0, 2, false, 3302);
+  // same way (two extra cells, same historical seeds).
+  std::vector<bench::CellSpec> inter(2);
+  inter[0].kind = WorkloadKind::kBw;
+  inter[0].value = 1.0;
+  inter[0].n_vms = 2;
+  inter[0].seed = 3301;
+  inter[1].kind = WorkloadKind::kBw;
+  inter[1].value = 1280.0;
+  inter[1].n_vms = 2;
+  inter[1].seed = 3302;
+  const auto inter_cells = measure_cells(inter, opts);
   // Inter-PM with 2 VMs doubles the aggregate; normalize to one sender
   // by halving.
   const double inter_slope =
-      (inter_hi.dom0.cpu_pct - inter_lo.dom0.cpu_pct) / 1279.0 / 2.0;
+      (inter_cells[1].dom0.cpu_pct - inter_cells[0].dom0.cpu_pct) / 1279.0 /
+      2.0;
   bench::verdict("inter-PM / intra-PM Dom0 slope ratio (paper: 5X)",
                  inter_slope / intra_slope, 5.0, 1.2);
   std::cout << '\n';
@@ -66,10 +83,11 @@ void fig5b() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::RunOptions opts = runner::options_from_cli(argc, argv);
   std::cout << "=== Reproduction of Figure 5: intra-PM bandwidth-intensive "
                "workload ===\n\n";
-  fig5a();
-  fig5b();
+  fig5a(opts);
+  fig5b(opts);
   return 0;
 }

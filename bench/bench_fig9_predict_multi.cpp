@@ -12,21 +12,24 @@
 
 #include "model_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace voprof;
+  const runner::RunOptions opts = runner::options_from_cli(argc, argv);
   std::cout << "=== Reproduction of Figure 9: resource utilization "
                "prediction, PMs hosting three VMs each ===\n"
                "Three independent RUBiS sets: 3 web VMs on PM1, 3 DB VMs "
                "on PM2.\n\n";
-  const model::TrainedModels models = bench::train_paper_models();
+  const model::TrainedModels& models =
+      bench::train_paper_models(model::RegressionMethod::kLms,
+                                util::seconds(120.0), opts.jobs);
 
   const std::vector<int> clients = {300, 400, 500, 600, 700};
-  std::vector<bench::RubisPrediction> runs;
-  runs.reserve(clients.size());
-  for (std::size_t i = 0; i < clients.size(); ++i) {
-    runs.push_back(bench::run_rubis_prediction(
-        models.multi, /*instances=*/3, clients[i], 900 + i * 13));
-  }
+  runner::SweepRunner sweep(opts);
+  std::vector<bench::RubisPrediction> runs =
+      sweep.map(clients.size(), [&models, &clients](std::size_t i) {
+        return bench::run_rubis_prediction(models.multi, /*instances=*/3,
+                                           clients[i], 900 + i * 13);
+      });
 
   auto col = [&runs](bool pm1, model::MetricIndex m) {
     std::vector<model::MetricEval*> v;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "voprof/monitor/script.hpp"
+#include "voprof/runner/runner.hpp"
 #include "voprof/util/table.hpp"
 #include "voprof/util/units.hpp"
 #include "voprof/workloads/levels.hpp"
@@ -69,6 +70,52 @@ inline CellResult measure_cell(wl::WorkloadKind kind, double value,
   r.hyp = report.mean(mon::MeasurementReport::kHypKey);
   r.pm = report.mean(mon::MeasurementReport::kPmKey);
   return r;
+}
+
+/// One cell of a figure sweep, for batch execution.
+struct CellSpec {
+  wl::WorkloadKind kind = wl::WorkloadKind::kCpu;
+  double value = 0.0;
+  int n_vms = 1;
+  bool intra_pm = false;
+  std::uint64_t seed = 42;
+  util::SimMicros duration = util::seconds(120.0);
+};
+
+/// Measure every cell, fanned over opts.jobs workers. Each cell runs
+/// on a fresh testbed seeded from its CellSpec alone and results come
+/// back ordered by cell index, so the printed tables are byte-identical
+/// for any --jobs value.
+inline std::vector<CellResult> measure_cells(const std::vector<CellSpec>& cells,
+                                             const runner::RunOptions& opts) {
+  runner::SweepRunner sweep(opts);
+  return sweep.map(cells.size(), [&cells](std::size_t i) {
+    const CellSpec& c = cells[i];
+    return measure_cell(c.kind, c.value, c.n_vms, c.intra_pm, c.seed,
+                        c.duration);
+  });
+}
+
+/// The common figure pattern: one workload kind swept over its input
+/// axis, cell i seeded `uint64(inputs[i]) + seed_offset` — the same
+/// per-cell seeds the serial benches always used, so every printed
+/// value stays anchored to the paper comparisons.
+inline std::vector<CellResult> measure_sweep(wl::WorkloadKind kind,
+                                             const std::vector<double>& inputs,
+                                             std::uint64_t seed_offset,
+                                             int n_vms, bool intra_pm,
+                                             const runner::RunOptions& opts) {
+  std::vector<CellSpec> cells;
+  for (double in : inputs) {
+    CellSpec c;
+    c.kind = kind;
+    c.value = in;
+    c.n_vms = n_vms;
+    c.intra_pm = intra_pm;
+    c.seed = static_cast<std::uint64_t>(in) + seed_offset;
+    cells.push_back(c);
+  }
+  return measure_cells(cells, opts);
 }
 
 /// "measured (paper)" cell, or just the measured value when no anchor

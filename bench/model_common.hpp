@@ -14,6 +14,7 @@
 #include "voprof/core/predictor.hpp"
 #include "voprof/core/trainer.hpp"
 #include "voprof/rubis/deployment.hpp"
+#include "voprof/runner/runner.hpp"
 
 namespace voprof::bench {
 
@@ -24,14 +25,14 @@ namespace voprof::bench {
 /// convex in guest CPU, and OLS smears that curvature across the whole
 /// range while LMS fits the bulk of the data tightly (the ablation
 /// bench quantifies the difference).
-inline model::TrainedModels train_paper_models(
+/// The sweep's cells fan over `jobs` workers (0 = all hardware
+/// threads, 1 = serial); the fitted coefficients are identical either
+/// way. Results come from the process-wide runner::model_cache(), so a
+/// bench that needs the same models twice trains once.
+inline const model::TrainedModels& train_paper_models(
     model::RegressionMethod method = model::RegressionMethod::kLms,
-    util::SimMicros cell_duration = util::seconds(120.0)) {
-  model::TrainerConfig cfg;
-  cfg.duration = cell_duration;
-  cfg.seed = 42;
-  const model::Trainer trainer(cfg);
-  return trainer.train(method);
+    util::SimMicros cell_duration = util::seconds(120.0), int jobs = 0) {
+  return runner::model_cache().get(method, cell_duration, /*seed=*/42, jobs);
 }
 
 /// Result of one RUBiS prediction run: the evaluations for both PMs.

@@ -29,6 +29,11 @@ struct TrainerConfig {
   /// Measurement duration per cell (paper: 2 minutes).
   util::SimMicros duration = util::seconds(120.0);
   std::uint64_t seed = 42;
+  /// Worker threads for collect(): 1 = serial (historical path), 0 =
+  /// all hardware threads. Cells are independent simulations with
+  /// coordinate-derived seeds, so the collected set — and therefore
+  /// the fitted models — are identical for every jobs value.
+  int jobs = 1;
   sim::MachineSpec machine;
   sim::VmSpec vm;
   sim::CostModel costs;

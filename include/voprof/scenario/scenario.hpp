@@ -34,6 +34,7 @@
 
 #include "voprof/monitor/script.hpp"
 #include "voprof/util/ini.hpp"
+#include "voprof/util/stats.hpp"
 #include "voprof/xensim/cluster.hpp"
 
 namespace voprof::scenario {
@@ -78,5 +79,31 @@ struct ScenarioResult {
 
 /// Build the testbed and run it.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Aggregate of several independent replications of one scenario.
+/// Replication r runs with seed util::seed_for(spec.seed, r); its 1 s
+/// samples are folded into per-entity streaming stats which are merged
+/// across replications in replication order, so the aggregate is
+/// identical no matter how many workers executed the runs.
+struct ReplicatedScenarioResult {
+  struct EntityStats {
+    util::RunningStats cpu;
+    util::RunningStats mem;
+    util::RunningStats io;
+    util::RunningStats bw;
+  };
+  /// machine index -> entity key -> stats over all samples of all runs.
+  std::map<int, std::map<std::string, EntityStats>> stats;
+  std::size_t replications = 0;
+
+  /// Summary table (mean and stddev of CPU) per monitored machine.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run `replications` independent copies of the scenario, fanned over
+/// `jobs` workers (1 = serial, 0 = all hardware threads). Requires
+/// replications >= 1.
+[[nodiscard]] ReplicatedScenarioResult run_scenario_replicated(
+    const ScenarioSpec& spec, std::size_t replications, int jobs = 1);
 
 }  // namespace voprof::scenario

@@ -33,6 +33,19 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derive the seed of sweep task `task_index` from `base_seed` by
+/// SplitMix64 mixing — a pure function of (base_seed, index), so a
+/// parallel runner hands every task the same stream no matter which
+/// worker picks it up or in what order. Finalized twice so that
+/// adjacent indices share no low-bit structure.
+[[nodiscard]] inline std::uint64_t seed_for(std::uint64_t base_seed,
+                                            std::uint64_t task_index) noexcept {
+  SplitMix64 mix(base_seed ^
+                 (task_index * 0xd6e8feb86659fd93ULL + 0xa5a5a5a5a5a5a5a5ULL));
+  (void)mix.next();
+  return mix.next();
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna). Satisfies the
 /// UniformRandomBitGenerator requirements.
 class Xoshiro256ss {

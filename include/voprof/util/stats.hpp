@@ -84,8 +84,10 @@ class Cdf {
   std::vector<double> sorted_;
 };
 
-/// Simple fixed-width histogram over [lo, hi) with `bins` buckets;
-/// values outside the range are clamped into the edge buckets.
+/// Simple fixed-width histogram over [lo, hi) with `bins` buckets.
+/// Samples outside the range are NOT clamped into the edge buckets
+/// (that would distort the tail bins); they are counted separately and
+/// reported via underflow() / overflow().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -93,7 +95,15 @@ class Histogram {
   void add(double x) noexcept;
   [[nodiscard]] std::size_t bin_count(std::size_t i) const;
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  /// All samples ever added, in range or not.
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Samples below lo / at or above hi.
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  /// Samples landing inside [lo, hi).
+  [[nodiscard]] std::size_t in_range() const noexcept {
+    return total_ - underflow_ - overflow_;
+  }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
 
@@ -102,6 +112,8 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace voprof::util

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -70,8 +71,15 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  /// Periodic callback state: allocated once per schedule_every and
+  /// shared by every rearm, so firing never copies the user callback.
+  struct PeriodicTask {
+    util::SimMicros period = 0;
+    std::function<void()> fn;
+  };
 
   void fire_due_events(util::SimMicros up_to_inclusive);
+  void arm_periodic(std::shared_ptr<PeriodicTask> task);
 
   util::SimMicros tick_period_;
   util::SimMicros now_ = 0;

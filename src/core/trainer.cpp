@@ -6,6 +6,7 @@
 #include "voprof/core/invariants.hpp"
 #include "voprof/monitor/script.hpp"
 #include "voprof/util/assert.hpp"
+#include "voprof/util/task_pool.hpp"
 #include "voprof/xensim/cluster.hpp"
 #include "voprof/xensim/engine.hpp"
 
@@ -81,14 +82,35 @@ TrainingSet Trainer::collect_run(wl::WorkloadKind kind, std::size_t level,
 }
 
 TrainingSet Trainer::collect() const {
-  TrainingSet all;
+  // Cells are enumerated in the historical loop order; collect_run
+  // seeds each from its coordinates alone, so cells can execute on any
+  // worker while the index-ordered append below reproduces the serial
+  // data set byte for byte.
+  struct Cell {
+    wl::WorkloadKind kind;
+    std::size_t level;
+    int n_vms;
+  };
+  std::vector<Cell> cells;
   for (int n : config_.vm_counts) {
     for (wl::WorkloadKind kind : config_.kinds) {
       for (std::size_t level = 0; level < wl::kLevelCount; ++level) {
-        all.append(collect_run(kind, level, n));
+        cells.push_back(Cell{kind, level, n});
       }
     }
   }
+
+  util::TaskPool pool(config_.jobs <= 0
+                          ? 0
+                          : static_cast<std::size_t>(config_.jobs));
+  std::vector<TrainingSet> parts =
+      pool.parallel_map(cells.size(), [this, &cells](std::size_t i) {
+        const Cell& cell = cells[i];
+        return collect_run(cell.kind, cell.level, cell.n_vms);
+      });
+
+  TrainingSet all;
+  for (const TrainingSet& part : parts) all.append(part);
   return all;
 }
 

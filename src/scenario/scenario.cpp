@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "voprof/util/assert.hpp"
+#include "voprof/util/rng.hpp"
 #include "voprof/util/table.hpp"
+#include "voprof/util/task_pool.hpp"
 #include "voprof/util/csv.hpp"
 #include "voprof/workloads/hogs.hpp"
 #include "voprof/workloads/trace.hpp"
@@ -171,6 +173,58 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     result.reports.emplace(monitored[i], monitors[i]->report());
   }
   return result;
+}
+
+ReplicatedScenarioResult run_scenario_replicated(const ScenarioSpec& spec,
+                                                 std::size_t replications,
+                                                 int jobs) {
+  VOPROF_REQUIRE_MSG(replications >= 1,
+                     "run_scenario_replicated needs replications >= 1");
+
+  // One independent run per replication, seeded purely from the
+  // replication index so any worker may execute it.
+  util::TaskPool pool(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs));
+  const std::vector<ScenarioResult> runs =
+      pool.parallel_map(replications, [&spec](std::size_t rep) {
+        ScenarioSpec rep_spec = spec;
+        rep_spec.seed = util::seed_for(spec.seed, rep);
+        return run_scenario(rep_spec);
+      });
+
+  // Fold each run's samples into per-run stats, then merge those in
+  // replication order — the same reduction a serial loop performs.
+  ReplicatedScenarioResult out;
+  out.replications = replications;
+  for (const ScenarioResult& run : runs) {
+    for (const auto& [machine, report] : run.reports) {
+      for (const std::string& key : report.keys()) {
+        const mon::SeriesSet& s = report.series(key);
+        ReplicatedScenarioResult::EntityStats& agg = out.stats[machine][key];
+        agg.cpu.merge(s.cpu.stats());
+        agg.mem.merge(s.mem.stats());
+        agg.io.merge(s.io.stats());
+        agg.bw.merge(s.bw.stats());
+      }
+    }
+  }
+  return out;
+}
+
+std::string ReplicatedScenarioResult::summary() const {
+  std::ostringstream os;
+  for (const auto& [machine, entities] : stats) {
+    util::AsciiTable t("machine " + std::to_string(machine) + " (" +
+                       std::to_string(replications) + " replications)");
+    t.set_header({"entity", "CPU(%)", "CPU sd", "MEM(MiB)", "I/O(blk/s)",
+                  "BW(Kb/s)"});
+    for (const auto& [key, s] : entities) {
+      t.add_row({key, util::fmt(s.cpu.mean(), 2), util::fmt(s.cpu.stddev(), 2),
+                 util::fmt(s.mem.mean(), 1), util::fmt(s.io.mean(), 2),
+                 util::fmt(s.bw.mean(), 2)});
+    }
+    os << t.str() << '\n';
+  }
+  return os.str();
 }
 
 std::string ScenarioResult::summary() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "voprof/util/assert.hpp"
+#include "voprof/util/numeric.hpp"
 
 namespace voprof::util {
 
@@ -50,16 +51,11 @@ std::string CliArgs::get_or(const std::string& name,
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  std::size_t pos = 0;
   double v = 0.0;
-  try {
-    v = std::stod(it->second, &pos);
-  } catch (const std::exception&) {
+  if (!parse_double(it->second, v)) {
     throw ContractViolation("flag --" + name + " is not numeric: '" +
                             it->second + "'");
   }
-  VOPROF_REQUIRE_MSG(pos == it->second.size(),
-                     "flag --" + name + " has trailing junk");
   return v;
 }
 

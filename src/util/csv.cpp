@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "voprof/util/assert.hpp"
+#include "voprof/util/numeric.hpp"
 
 namespace voprof::util {
 
@@ -54,10 +55,11 @@ void CsvDocument::write(std::ostream& os) const {
     if (i + 1 < header_.size()) os << ',';
   }
   os << '\n';
-  os.precision(12);
+  // format_double: shortest round-trip text, independent of the
+  // stream's precision and locale — save/load is bit-exact.
   for (const auto& r : rows_) {
     for (std::size_t i = 0; i < r.size(); ++i) {
-      os << r[i];
+      os << format_double(r[i]);
       if (i + 1 < r.size()) os << ',';
     }
     os << '\n';
@@ -109,15 +111,10 @@ CsvDocument CsvDocument::parse(std::istream& is) {
     std::vector<double> row;
     row.reserve(cells.size());
     for (const auto& cell : cells) {
-      std::size_t pos = 0;
       double v = 0.0;
-      try {
-        v = std::stod(cell, &pos);
-      } catch (const std::exception&) {
+      if (!parse_double(cell, v)) {
         throw ContractViolation("non-numeric CSV cell: '" + cell + "'");
       }
-      VOPROF_REQUIRE_MSG(pos == cell.size(),
-                         "trailing junk in CSV cell: '" + cell + "'");
       row.push_back(v);
     }
     doc.rows_.push_back(std::move(row));

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "voprof/util/assert.hpp"
+#include "voprof/util/numeric.hpp"
 
 namespace voprof::util {
 
@@ -39,16 +40,11 @@ std::string IniSection::get_or(const std::string& key,
 double IniSection::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v.has_value()) return fallback;
-  std::size_t pos = 0;
   double out = 0.0;
-  try {
-    out = std::stod(*v, &pos);
-  } catch (const std::exception&) {
+  if (!parse_double(*v, out)) {
     throw ContractViolation("[" + kind + " " + name + "] " + key +
                             " is not numeric: '" + *v + "'");
   }
-  VOPROF_REQUIRE_MSG(pos == v->size(), "[" + kind + "] " + key +
-                                           " has trailing junk: '" + *v + "'");
   return out;
 }
 

@@ -126,10 +126,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  auto idx = static_cast<long long>((x - lo_) / width_);
-  idx = std::max(0LL, std::min(idx, static_cast<long long>(counts_.size()) - 1));
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  const double rel = (x - lo_) / width_;
+  // NaN fails the first comparison and lands in underflow; +inf in
+  // overflow. Both bounds are checked before the cast (UB otherwise).
+  if (!(rel >= 0.0)) {
+    ++underflow_;
+  } else if (!(rel < static_cast<double>(counts_.size()))) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>(rel)];
+  }
 }
 
 std::size_t Histogram::bin_count(std::size_t i) const {

@@ -1,0 +1,59 @@
+#include "voprof/util/task_pool.hpp"
+
+#include <algorithm>
+
+namespace voprof::util {
+
+std::size_t TaskPool::default_jobs() noexcept {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+TaskPool::TaskPool(std::size_t jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {
+  if (jobs_ <= 1) return;  // serial path: submit() runs tasks inline
+  workers_.reserve(jobs_);
+  for (std::size_t i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock,
+               [this]() { return stopping_ || queue_head_ < queue_.size(); });
+      if (queue_head_ >= queue_.size()) return;  // stopping, queue drained
+      job = std::move(queue_[queue_head_]);
+      ++queue_head_;
+      // Reclaim the consumed prefix once it dominates the buffer.
+      if (queue_head_ > 64 && queue_head_ * 2 > queue_.size()) {
+        queue_.erase(queue_.begin(),
+                     queue_.begin() +
+                         static_cast<std::ptrdiff_t>(queue_head_));
+        queue_head_ = 0;
+      }
+    }
+    job();  // packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace voprof::util

@@ -34,13 +34,19 @@ void Engine::schedule_after(util::SimMicros delay, std::function<void()> fn) {
 
 void Engine::schedule_every(util::SimMicros period, std::function<void()> fn) {
   VOPROF_REQUIRE(period > 0);
-  // Re-arming one-shot: each firing schedules the next.
-  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  std::function<void()> rearm = [this, period, shared_fn]() {
-    (*shared_fn)();
-    schedule_every(period, *shared_fn);
-  };
-  schedule_after(period, std::move(rearm));
+  // Re-arming one-shot: each firing schedules the next. The callback
+  // lives in one shared PeriodicTask for the whole chain; rearming
+  // moves the same shared_ptr into the next event instead of copying
+  // the callback and allocating a fresh wrapper every period.
+  arm_periodic(std::make_shared<PeriodicTask>(PeriodicTask{period, std::move(fn)}));
+}
+
+void Engine::arm_periodic(std::shared_ptr<PeriodicTask> task) {
+  PeriodicTask* t = task.get();
+  schedule_after(t->period, [this, task = std::move(task)]() mutable {
+    task->fn();
+    arm_periodic(std::move(task));
+  });
 }
 
 void Engine::fire_due_events(util::SimMicros up_to_inclusive) {

@@ -1,0 +1,12 @@
+// Fixture: raw std::thread construction outside util/task_pool must
+// fire raw-thread (parallelism goes through voprof::util::TaskPool).
+#include <thread>
+
+namespace voprof::model {
+
+void spawn_worker() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace voprof::model

@@ -2,7 +2,9 @@
 //   - "float" and rand() only in comments, strings and raw strings
 //   - static_assert and my_assert() are not assert()
 //   - rng.rand() style member calls are not libc rand()
+//   - std::thread::hardware_concurrency is a static query, not a spawn
 #include <string>
+#include <thread>
 
 namespace voprof::model {
 
@@ -19,9 +21,10 @@ std::string describe() {
   FakeRng rng;
   (void)rng.rand_like();
   my_assert(true);
-  // float would be wrong here; rand() too.
+  // float would be wrong here; rand() too. So would std::thread t;.
   std::string s = "uses float and rand() and assert( in a string";
-  s += R"(raw string with float, rand() and assert( inside)";
+  s += R"(raw string with float, rand() and std::thread inside)";
+  s += std::to_string(std::thread::hardware_concurrency());
   return s;
 }
 

@@ -191,8 +191,18 @@ TEST_F(HotspotFixture, ConsolidationRespectsThreshold) {
   Bed bed(13, 2);
   // Both PMs moderately loaded: packing them together would cross the
   // hotspot threshold, so consolidation must refuse.
-  for (int i = 0; i < 2; ++i) bed.vm(0, "a" + std::to_string(i), 60.0);
-  for (int i = 0; i < 2; ++i) bed.vm(1, "b" + std::to_string(i), 60.0);
+  // Built via += to sidestep GCC 12's -Wrestrict false positive on
+  // `const char* + std::string&&` (PR105329).
+  for (int i = 0; i < 2; ++i) {
+    std::string name = "a";
+    name += std::to_string(i);
+    bed.vm(0, name, 60.0);
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::string name = "b";
+    name += std::to_string(i);
+    bed.vm(1, name, 60.0);
+  }
   HotspotConfig cfg;
   cfg.check_interval = seconds(5.0);
   cfg.cpu_threshold_pct = 200.0;

@@ -119,6 +119,35 @@ TEST(Rules, RawRandFlaggedEverywhereIncludingQualified) {
             1U);
 }
 
+TEST(Rules, RawThreadFlaggedOutsideTaskPool) {
+  const std::string body = "#include <thread>\nstd::thread t([] {});\n";
+  EXPECT_EQ(count_rule(lint_file_content("src/core/x.cpp", body),
+                       "raw-thread"),
+            1U);
+  EXPECT_EQ(count_rule(lint_file_content("bench/x.cpp",
+                                         "std::jthread t([] {});\n"),
+                       "raw-thread"),
+            1U);
+  // The pool implementation itself is the one sanctioned home.
+  EXPECT_EQ(count_rule(lint_file_content("src/util/task_pool.cpp", body),
+                       "raw-thread"),
+            0U);
+  EXPECT_EQ(count_rule(lint_file_content(
+                           "include/voprof/util/task_pool.hpp",
+                           "#pragma once\nstd::vector<std::thread> w;\n"),
+                       "raw-thread"),
+            0U);
+}
+
+TEST(Rules, StaticThreadQueriesNotFlagged) {
+  const auto findings = lint_file_content(
+      "src/core/x.cpp",
+      "auto n = std::thread::hardware_concurrency();\n"
+      "auto id = std::this_thread::get_id();\n"
+      "int threads = 3;\n");
+  EXPECT_EQ(count_rule(findings, "raw-thread"), 0U);
+}
+
 TEST(Rules, MemberRandNotFlagged) {
   const auto findings = lint_file_content(
       "src/util/x.cpp", "int r = rng.rand();\nint q = gen->rand();\n");
@@ -165,6 +194,7 @@ TEST(Fixtures, TreeFailsWithEveryExpectedRule) {
   EXPECT_EQ(count_rule(report.findings, "naked-assert"), 2U);
   EXPECT_EQ(count_rule(report.findings, "header-guard"), 1U);
   EXPECT_EQ(count_rule(report.findings, "raw-rand"), 2U);
+  EXPECT_EQ(count_rule(report.findings, "raw-thread"), 1U);
   for (const Finding& f : report.findings) {
     EXPECT_EQ(f.file.find("good_"), std::string::npos) << f.format();
     EXPECT_EQ(f.file.find("clean_"), std::string::npos) << f.format();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "voprof/util/assert.hpp"
@@ -141,19 +142,35 @@ TEST(Cdf, GridSpansRange) {
   }
 }
 
-TEST(Histogram, CountsAndClamping) {
+TEST(Histogram, CountsWithoutClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);    // bin 0
   h.add(9.99);   // bin 4
-  h.add(-3.0);   // clamped to bin 0
-  h.add(42.0);   // clamped to bin 4
+  h.add(-3.0);   // below range: underflow, NOT bin 0
+  h.add(42.0);   // above range: overflow, NOT bin 4
   h.add(5.0);    // bin 2
-  EXPECT_EQ(h.total(), 5u);
-  EXPECT_EQ(h.bin_count(0), 2u);
+  h.add(10.0);   // hi is exclusive: overflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.in_range(), 3u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(2), 1u);
-  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(Histogram, NonFiniteSamplesAreOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.in_range(), 0u);
+  EXPECT_EQ(h.underflow(), 2u);  // NaN lands in underflow, like -inf
+  EXPECT_EQ(h.overflow(), 1u);
+  for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0u);
 }
 
 TEST(Histogram, RejectsBadConstruction) {

@@ -76,6 +76,21 @@ TEST(Csv, RoundTripThroughText) {
   EXPECT_DOUBLE_EQ(parsed.at(1, "cpu"), 17.1);
 }
 
+TEST(Csv, RoundTripIsBitExactForFullPrecisionDoubles) {
+  // write() formats with shortest round-trip precision; 12 significant
+  // digits (the old behaviour) would corrupt every one of these.
+  CsvDocument doc({"v"});
+  const std::vector<double> values = {1.0 / 3.0, 0.1 + 0.2,
+                                      123456789.123456789,
+                                      2.718281828459045e-7, 1e-300};
+  for (double v : values) doc.add_row({v});
+  const CsvDocument parsed = CsvDocument::parse_string(doc.str());
+  ASSERT_EQ(parsed.row_count(), values.size());
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    EXPECT_EQ(parsed.at(r, 0), values[r]);  // exact, not DOUBLE_EQ
+  }
+}
+
 TEST(Csv, ColumnLookup) {
   CsvDocument doc({"a", "b"});
   doc.add_row({1.0, 2.0});

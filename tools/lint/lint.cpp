@@ -31,6 +31,10 @@ bool is_model_engine_code(const std::string& relpath) {
          starts_with(relpath, "include/voprof/xensim/");
 }
 
+bool is_task_pool_code(const std::string& relpath) {
+  return relpath.find("util/task_pool") != std::string::npos;
+}
+
 bool is_header(const std::string& relpath) {
   return relpath.ends_with(".hpp") || relpath.ends_with(".h") ||
          relpath.ends_with(".hh");
@@ -76,6 +80,16 @@ const std::regex& float_re() {
 
 const std::regex& cout_re() {
   static const std::regex re(R"(std\s*::\s*cout)");
+  return re;
+}
+
+const std::regex& thread_re() {
+  // `std::thread` / `std::jthread` as a type (construction, members,
+  // vector<std::thread>, ...) but not `std::thread::hardware_concurrency`
+  // and friends — a trailing `::` means a static member access, which
+  // does not spawn anything. `std::this_thread` never matches: after
+  // `std::` the literal `j?thread` cannot match `this_thread`.
+  static const std::regex re(R"(std\s*::\s*j?thread\b(?!\s*::))");
   return re;
 }
 
@@ -276,6 +290,12 @@ std::vector<Finding> lint_file_content(const std::string& relpath,
   }
   scan_lines(lines, rand_re(), relpath, "raw-rand",
              "use voprof::util::Rng instead of rand()/srand()", &out);
+  if (!is_task_pool_code(relpath)) {
+    scan_lines(lines, thread_re(), relpath, "raw-thread",
+               "use voprof::util::TaskPool instead of raw std::thread so "
+               "parallel sweeps stay deterministic",
+               &out);
+  }
   return out;
 }
 

@@ -17,6 +17,11 @@
 ///                    values, not stdout
 ///   raw-rand         no rand()/srand() anywhere — all randomness goes
 ///                    through voprof::util::Rng for reproducibility
+///   raw-thread       no std::thread / std::jthread outside
+///                    util/task_pool — parallelism goes through
+///                    voprof::util::TaskPool so sweeps stay
+///                    deterministic (static members such as
+///                    std::thread::hardware_concurrency are fine)
 ///
 /// Comments and string literals are masked out before matching, so a
 /// `// rand()` comment or an "assert(" inside a string never fires.

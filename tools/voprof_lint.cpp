@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
       std::string(argv[1]) == "--help") {
     std::cerr << "usage: voprof-lint <repo-root>\n"
               << "Checks voprof project conventions (naked-assert, "
-                 "float-in-model,\nheader-guard, cout-in-library, raw-rand); "
-                 "see docs/STATIC_ANALYSIS.md.\n";
+                 "float-in-model,\nheader-guard, cout-in-library, raw-rand, "
+                 "raw-thread); see docs/STATIC_ANALYSIS.md.\n";
     return 2;
   }
   try {
