@@ -5,10 +5,12 @@
 /// Eq. (3) model against the typed HeteroModel on mixed small/large
 /// deployments neither model saw during training.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
+#include "harness.hpp"
 #include "voprof/core/hetero_trainer.hpp"
 #include "voprof/core/trainer.hpp"
 #include "voprof/util/table.hpp"
@@ -58,6 +60,10 @@ int main() {
          "{2S+1L},{2S+2L}\nand the homogeneous Eq.(3) model on the "
          "standard single-type sweep...\n\n";
 
+  namespace harness = voprof::bench::harness;
+  harness::Session& session = harness::Session::global();
+  const auto t0 = std::chrono::steady_clock::now();
+
   model::HeteroTrainerConfig hcfg = model::HeteroTrainerConfig::defaults();
   hcfg.duration = util::seconds(45.0);
   const model::HeteroTrainer htrainer(hcfg);
@@ -71,6 +77,12 @@ int main() {
   tcfg.seed = 15;
   const model::TrainedModels homog =
       model::Trainer(tcfg).train(model::RegressionMethod::kLms);
+
+  session.record_section(
+      "hetero_training",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count(),
+      0.0, static_cast<double>(homog.data.size()));
 
   util::AsciiTable t(
       "Mean PM-CPU prediction error (%) on held-out mixed deployments");

@@ -1,13 +1,20 @@
 /// \file bench_perf_engine.cpp
-/// google-benchmark microbenchmarks of the simulator itself: tick
-/// throughput as the testbed grows, monitoring cost, and cluster
-/// routing. Not a paper figure — this documents that the substrate is
-/// fast enough to regenerate the whole evaluation in seconds.
-
-#include <benchmark/benchmark.h>
+/// Harness microbenchmarks of the simulator itself: tick throughput as
+/// the testbed grows, monitoring cost, RUBiS churn and cluster
+/// snapshots. Not a paper figure — this documents that the substrate
+/// is fast enough to regenerate the whole evaluation in seconds, and
+/// its BENCH_perf_engine.json is the perf-regression gate CI diffs
+/// against bench/baselines/ (see docs/BENCHMARKING.md).
+///
+/// Every scenario advances a live testbed by a fixed number of
+/// simulated seconds per repetition, so the JSON's
+/// throughput_sim_s_per_wall_s is directly "how many times faster than
+/// real time the simulator runs".
 
 #include <memory>
+#include <string>
 
+#include "harness.hpp"
 #include "voprof/monitor/script.hpp"
 #include "voprof/rubis/deployment.hpp"
 #include "voprof/workloads/hogs.hpp"
@@ -16,9 +23,30 @@
 namespace {
 
 using namespace voprof;
+using bench::harness::BenchOptions;
+using bench::harness::RepResult;
+using bench::harness::Session;
 
-void BM_EngineTick_VmCount(benchmark::State& state) {
-  const int n_vms = static_cast<int>(state.range(0));
+constexpr double kSimSecondsPerRep = 10.0;
+
+/// Digest of a machine's cumulative activity; equal across runs iff
+/// the simulation was deterministic.
+double machine_checksum(const sim::PhysicalMachine& pm,
+                        util::SimMicros now) {
+  const sim::MachineSnapshot snap = pm.snapshot(now);
+  double sum = snap.dom0.counters.cpu_core_seconds +
+               snap.hypervisor.cpu_core_seconds + snap.devices.disk_blocks +
+               snap.devices.nic_kbits;
+  for (const auto& g : snap.guests) {
+    sum += g.counters.cpu_core_seconds + g.counters.io_blocks +
+           g.counters.tx_kbits + g.counters.rx_kbits + g.counters.mem_mib;
+  }
+  return sum;
+}
+
+/// Tick throughput with n CPU-hog VMs on one PM. The testbed persists
+/// across repetitions; each rep advances it by kSimSecondsPerRep.
+void bench_engine_tick(Session& session, int n_vms) {
   sim::Engine engine;
   sim::Cluster cluster(engine, sim::CostModel{}, 1);
   sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
@@ -28,15 +56,16 @@ void BM_EngineTick_VmCount(benchmark::State& state) {
     pm.add_vm(spec).attach(
         std::make_unique<wl::CpuHog>(50.0, static_cast<std::uint64_t>(i)));
   }
-  for (auto _ : state) {
-    engine.run_for(util::milliseconds(10));
-  }
-  state.SetItemsProcessed(state.iterations());
-  state.SetLabel(std::to_string(n_vms) + " VMs");
+  session.bench("engine_tick/vms=" + std::to_string(n_vms),
+                BenchOptions{2, 9}, [&]() {
+                  engine.run_for(util::seconds(kSimSecondsPerRep));
+                  return RepResult{kSimSecondsPerRep,
+                                   machine_checksum(pm, engine.now())};
+                });
 }
-BENCHMARK(BM_EngineTick_VmCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_SimulatedSecond_MixedWorkloads(benchmark::State& state) {
+/// One PM running the three workload classes at once.
+void bench_mixed_workloads(Session& session) {
   sim::Engine engine;
   sim::Cluster cluster(engine, sim::CostModel{}, 2);
   sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
@@ -50,14 +79,14 @@ void BM_SimulatedSecond_MixedWorkloads(benchmark::State& state) {
   c.name = "bw";
   pm.add_vm(c).attach(
       std::make_unique<wl::NetPing>(640.0, sim::NetTarget{}, 3));
-  for (auto _ : state) {
-    engine.run_for(util::seconds(1.0));
-  }
-  state.SetItemsProcessed(state.iterations());
+  session.bench("mixed_workloads", BenchOptions{2, 9}, [&]() {
+    engine.run_for(util::seconds(kSimSecondsPerRep));
+    return RepResult{kSimSecondsPerRep, machine_checksum(pm, engine.now())};
+  });
 }
-BENCHMARK(BM_SimulatedSecond_MixedWorkloads);
 
-void BM_MonitoredSecond(benchmark::State& state) {
+/// The paper's measurement loop itself: one monitored VM, 1 s samples.
+void bench_monitored(Session& session) {
   sim::Engine engine;
   sim::Cluster cluster(engine, sim::CostModel{}, 3);
   sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
@@ -66,15 +95,16 @@ void BM_MonitoredSecond(benchmark::State& state) {
   pm.add_vm(a).attach(std::make_unique<wl::CpuHog>(60.0, 1));
   mon::MonitorScript mon(engine, pm);
   mon.start();
-  for (auto _ : state) {
-    engine.run_for(util::seconds(1.0));
-  }
+  session.bench("monitored_second", BenchOptions{2, 9}, [&]() {
+    engine.run_for(util::seconds(kSimSecondsPerRep));
+    return RepResult{kSimSecondsPerRep, machine_checksum(pm, engine.now())};
+  });
   mon.stop();
-  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MonitoredSecond);
 
-void BM_RubisSecond(benchmark::State& state) {
+/// Full application model: two-tier RUBiS with 500 closed-loop clients
+/// across three machines (cluster routing + flows every tick).
+void bench_rubis(Session& session) {
   sim::Engine engine;
   sim::Cluster cluster(engine, sim::CostModel{}, 4);
   cluster.add_machine(sim::MachineSpec{});
@@ -83,15 +113,14 @@ void BM_RubisSecond(benchmark::State& state) {
   rubis::DeployOptions opt;
   opt.clients = 500;
   const rubis::RubisInstance inst = rubis::deploy_rubis(cluster, 0, 1, 2, opt);
-  for (auto _ : state) {
-    engine.run_for(util::seconds(1.0));
-  }
-  benchmark::DoNotOptimize(inst.client->completed());
-  state.SetItemsProcessed(state.iterations());
+  session.bench("rubis_second", BenchOptions{2, 9}, [&]() {
+    engine.run_for(util::seconds(kSimSecondsPerRep));
+    return RepResult{kSimSecondsPerRep, inst.client->completed()};
+  });
 }
-BENCHMARK(BM_RubisSecond);
 
-void BM_Snapshot(benchmark::State& state) {
+/// Counter-snapshot cost (the monitor takes one per sampled second).
+void bench_snapshot(Session& session) {
   sim::Engine engine;
   sim::Cluster cluster(engine, sim::CostModel{}, 5);
   sim::PhysicalMachine& pm = cluster.add_machine(sim::MachineSpec{});
@@ -101,12 +130,27 @@ void BM_Snapshot(benchmark::State& state) {
     pm.add_vm(spec);
   }
   engine.run_for(util::seconds(1.0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pm.snapshot(engine.now()));
-  }
+  constexpr int kSnapshotsPerRep = 20000;
+  session.bench("snapshot_x20000", BenchOptions{1, 9}, [&]() {
+    double sum = 0.0;
+    for (int i = 0; i < kSnapshotsPerRep; ++i) {
+      sum += pm.snapshot(engine.now()).dom0.counters.mem_mib;
+    }
+    return RepResult{0.0, sum};
+  });
 }
-BENCHMARK(BM_Snapshot);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  Session& session = Session::global();
+  for (const int n : {1, 2, 4, 8, 16}) bench_engine_tick(session, n);
+  bench_mixed_workloads(session);
+  bench_monitored(session);
+  bench_rubis(session);
+  bench_snapshot(session);
+  session.write_file();
+  std::printf("wrote %s (%zu benchmarks)\n", session.output_path().c_str(),
+              session.measurements().size());
+  return 0;
+}

@@ -1,12 +1,15 @@
 /// \file bench_perf_regression.cpp
-/// google-benchmark microbenchmarks of the regression back-ends: OLS
+/// Harness microbenchmarks of the regression back-ends: OLS
 /// (Householder QR) vs Least Median of Squares (random elemental
-/// subsets) across observation counts, plus full model fits. LMS is
-/// the paper's cited estimator [24]; this quantifies what its
-/// robustness costs.
+/// subsets) across observation counts, plus full model fits and
+/// prediction throughput. LMS is the paper's cited estimator [24];
+/// this quantifies what its robustness costs. Emits
+/// BENCH_perf_regression.json for the CI perf gate.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
 
+#include "harness.hpp"
 #include "voprof/core/overhead_model.hpp"
 #include "voprof/core/regression.hpp"
 #include "voprof/util/rng.hpp"
@@ -14,6 +17,9 @@
 namespace {
 
 using namespace voprof;
+using bench::harness::BenchOptions;
+using bench::harness::RepResult;
+using bench::harness::Session;
 using model::RegressionMethod;
 
 struct Data {
@@ -31,26 +37,38 @@ Data make_data(std::size_t n, std::uint64_t seed) {
   return d;
 }
 
-void BM_FitOls(benchmark::State& state) {
-  const Data d = make_data(static_cast<std::size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model::fit_ols(d.x, d.y));
-  }
-  state.SetComplexityN(state.range(0));
+double fit_checksum(const model::LinearFit& fit) {
+  double sum = fit.r_squared + fit.residual_rms;
+  for (const double c : fit.coef) sum += c;
+  return sum;
 }
-BENCHMARK(BM_FitOls)->Range(64, 16384)->Complexity(benchmark::oN);
 
-void BM_FitLms(benchmark::State& state) {
-  const Data d = make_data(static_cast<std::size_t>(state.range(0)), 2);
-  for (auto _ : state) {
-    util::Rng rng(7);
-    benchmark::DoNotOptimize(model::fit_lms(d.x, d.y, rng));
-  }
-  state.SetComplexityN(state.range(0));
+/// One rep = `fits_per_rep` complete fits, sized so a rep lands in the
+/// milliseconds range where steady_clock timing is meaningful.
+void bench_fit_ols(Session& session, std::size_t n, int fits_per_rep) {
+  const Data d = make_data(n, 1);
+  session.bench("fit_ols/n=" + std::to_string(n), BenchOptions{1, 9}, [&]() {
+    double sum = 0.0;
+    for (int i = 0; i < fits_per_rep; ++i) {
+      sum += fit_checksum(model::fit_ols(d.x, d.y));
+    }
+    return RepResult{0.0, sum};
+  });
 }
-BENCHMARK(BM_FitLms)->Range(64, 16384)->Complexity(benchmark::oN);
 
-void BM_SingleVmModelFit(benchmark::State& state) {
+void bench_fit_lms(Session& session, std::size_t n, int fits_per_rep) {
+  const Data d = make_data(n, 2);
+  session.bench("fit_lms/n=" + std::to_string(n), BenchOptions{1, 9}, [&]() {
+    double sum = 0.0;
+    for (int i = 0; i < fits_per_rep; ++i) {
+      util::Rng rng(7);
+      sum += fit_checksum(model::fit_lms(d.x, d.y, rng));
+    }
+    return RepResult{0.0, sum};
+  });
+}
+
+void bench_single_vm_model_fit(Session& session) {
   util::Rng rng(3);
   model::TrainingSet data;
   for (int i = 0; i < 2400; ++i) {
@@ -63,14 +81,15 @@ void BM_SingleVmModelFit(benchmark::State& state) {
     row.hyp_cpu = 3.0 + 0.04 * row.vm_sum.cpu;
     data.add(row);
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        model::SingleVmModel::fit(data, RegressionMethod::kOls));
-  }
+  session.bench("single_vm_model_fit", BenchOptions{1, 9}, [&]() {
+    const model::SingleVmModel m =
+        model::SingleVmModel::fit(data, RegressionMethod::kOls);
+    return RepResult{0.0,
+                     fit_checksum(m.fit_for(model::MetricIndex::kCpu))};
+  });
 }
-BENCHMARK(BM_SingleVmModelFit);
 
-void BM_Predict(benchmark::State& state) {
+void bench_predict(Session& session) {
   util::Rng rng(4);
   model::TrainingSet data;
   for (int n : {1, 2, 4}) {
@@ -91,13 +110,31 @@ void BM_Predict(benchmark::State& state) {
   const model::MultiVmModel m =
       model::MultiVmModel::fit(data, RegressionMethod::kOls);
   const model::UtilVec probe{120, 250, 40, 2000};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.predict(probe, 2));
-    benchmark::DoNotOptimize(m.predict_pm_cpu_indirect(probe, 2));
-  }
+  constexpr int kPredictionsPerRep = 100000;
+  session.bench("predict_x100000", BenchOptions{1, 9}, [&]() {
+    double sum = 0.0;
+    for (int i = 0; i < kPredictionsPerRep; ++i) {
+      sum += m.predict(probe, 2).cpu;
+      sum += m.predict_pm_cpu_indirect(probe, 2);
+    }
+    return RepResult{0.0, sum};
+  });
 }
-BENCHMARK(BM_Predict);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  Session& session = Session::global();
+  bench_fit_ols(session, 64, 400);
+  bench_fit_ols(session, 1024, 50);
+  bench_fit_ols(session, 16384, 4);
+  bench_fit_lms(session, 64, 40);
+  bench_fit_lms(session, 1024, 8);
+  bench_fit_lms(session, 16384, 1);
+  bench_single_vm_model_fit(session);
+  bench_predict(session);
+  session.write_file();
+  std::printf("wrote %s (%zu benchmarks)\n", session.output_path().c_str(),
+              session.measurements().size());
+  return 0;
+}

@@ -11,8 +11,10 @@
 ///   --duration SEC  simulated seconds per cell (default 30)
 ///   --seed S        base seed; cell i is seeded seed_for(S, i)
 
+#include <chrono>
 #include <iostream>
 
+#include "harness.hpp"
 #include "voprof/runner/runner.hpp"
 #include "voprof/util/cli.hpp"
 
@@ -28,7 +30,14 @@ int main(int argc, char** argv) {
   config.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const std::string out_path = args.get_or("out", "");
 
+  namespace harness = voprof::bench::harness;
+  const auto t0 = std::chrono::steady_clock::now();
   const util::CsvDocument csv = runner::run_micro_sweep(config, opts);
+  harness::Session::global().record_section(
+      "micro_sweep",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count(),
+      0.0, static_cast<double>(csv.row_count()));
   if (out_path.empty()) {
     std::cout << csv.str();
   } else {

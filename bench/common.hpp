@@ -6,11 +6,13 @@
 /// the entity means; plus small formatting utilities for
 /// paper-vs-measured tables.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "harness.hpp"
 #include "voprof/monitor/script.hpp"
 #include "voprof/runner/runner.hpp"
 #include "voprof/util/table.hpp"
@@ -85,15 +87,33 @@ struct CellSpec {
 /// Measure every cell, fanned over opts.jobs workers. Each cell runs
 /// on a fresh testbed seeded from its CellSpec alone and results come
 /// back ordered by cell index, so the printed tables are byte-identical
-/// for any --jobs value.
+/// for any --jobs value. Every sweep is also timed and recorded in the
+/// process-wide harness session, so each bench binary leaves a
+/// BENCH_<name>.json perf record behind (see harness.hpp).
 inline std::vector<CellResult> measure_cells(const std::vector<CellSpec>& cells,
                                              const runner::RunOptions& opts) {
+  harness::Session& session = harness::Session::global();
+  const auto t0 = std::chrono::steady_clock::now();
   runner::SweepRunner sweep(opts);
-  return sweep.map(cells.size(), [&cells](std::size_t i) {
+  auto results = sweep.map(cells.size(), [&cells](std::size_t i) {
     const CellSpec& c = cells[i];
     return measure_cell(c.kind, c.value, c.n_vms, c.intra_pm, c.seed,
                         c.duration);
   });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  double sim_s = 0.0;
+  for (const CellSpec& c : cells) sim_s += util::to_seconds(c.duration);
+  double checksum = 0.0;
+  for (const CellResult& r : results) {
+    checksum += r.vm.cpu_pct + r.vm_sum.cpu_pct + r.dom0.cpu_pct +
+                r.hyp.cpu_pct + r.pm.cpu_pct + r.pm.io_blocks_per_s +
+                r.pm.bw_kbps;
+  }
+  session.record_section(session.next_section_name("cells"), wall_s, sim_s,
+                         checksum);
+  return results;
 }
 
 /// The common figure pattern: one workload kind swept over its input

@@ -32,7 +32,18 @@ namespace voprof::bench {
 inline const model::TrainedModels& train_paper_models(
     model::RegressionMethod method = model::RegressionMethod::kLms,
     util::SimMicros cell_duration = util::seconds(120.0), int jobs = 0) {
-  return runner::model_cache().get(method, cell_duration, /*seed=*/42, jobs);
+  harness::Session& session = harness::Session::global();
+  const auto t0 = std::chrono::steady_clock::now();
+  const model::TrainedModels& models =
+      runner::model_cache().get(method, cell_duration, /*seed=*/42, jobs);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Cache hits record near-zero sections; the first call carries the
+  // actual training cost. Checksum: observation count (deterministic).
+  session.record_section(session.next_section_name("train_models"), wall_s,
+                         0.0, static_cast<double>(models.data.size()));
+  return models;
 }
 
 /// Result of one RUBiS prediction run: the evaluations for both PMs.

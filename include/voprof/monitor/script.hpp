@@ -20,6 +20,7 @@
 #include "voprof/util/csv.hpp"
 #include "voprof/util/time_series.hpp"
 #include "voprof/xensim/cluster.hpp"
+#include "voprof/xensim/engine.hpp"
 
 namespace voprof::mon {
 
@@ -112,7 +113,6 @@ class MonitorScript {
   class GuestAgent;  // in-VM top/vmstat instance
 
   void take_sample();
-  void schedule_next();
 
   sim::Engine& engine_;
   sim::PhysicalMachine& machine_;
@@ -124,9 +124,14 @@ class MonitorScript {
   int dom0_overhead_id_ = -1;
   bool running_ = false;
   bool started_once_ = false;
-  /// Outlives queued engine events; guards callbacks after destruction.
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// Native periodic sampling timer; cancelled by stop(), after which
+  /// the engine never invokes the callback again.
+  sim::TimerId timer_id_ = sim::kInvalidTimer;
+  /// Snapshot pair, refreshed in place each interval (snapshot_into)
+  /// and swapped instead of copied — steady-state sampling allocates
+  /// nothing.
   sim::MachineSnapshot prev_;
+  sim::MachineSnapshot cur_;
 };
 
 }  // namespace voprof::mon

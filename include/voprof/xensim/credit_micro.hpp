@@ -42,6 +42,12 @@ class MicroCreditScheduler {
   [[nodiscard]] SchedResult tick(const std::vector<SchedRequest>& requests,
                                  double dt);
 
+  /// Hot-path variant: writes into `out`, reusing its capacity, and
+  /// keeps the per-tick want/runqueue-order buffers as member scratch —
+  /// zero allocations at steady state.
+  void tick_into(const std::vector<SchedRequest>& requests, double dt,
+                 SchedResult& out);
+
   /// Current credit balance of a VCPU (tests/diagnostics).
   [[nodiscard]] double credits(std::size_t vcpu) const;
   [[nodiscard]] int cores() const noexcept { return cores_; }
@@ -60,6 +66,9 @@ class MicroCreditScheduler {
   double efficiency_;
   std::vector<double> credits_;
   double since_accounting_s_ = 0.0;
+  // Per-tick scratch (no state carried between ticks).
+  std::vector<double> want_;
+  std::vector<std::size_t> order_;
 };
 
 }  // namespace voprof::sim

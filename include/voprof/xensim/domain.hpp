@@ -72,8 +72,12 @@ class DomU final : public Domain {
 
   /// Phase A: aggregate demand over all processes for one tick.
   /// The per-VM I/O cap (VmSpec::io_cap_blocks_per_s) is applied here —
-  /// the frontend driver is where Xen enforces it.
-  [[nodiscard]] ProcessDemand collect_demand(util::SimMicros now, double dt);
+  /// the frontend driver is where Xen enforces it. The returned
+  /// reference aliases last_demand() and stays valid until the next
+  /// collect_demand call; accumulating in place reuses the flow
+  /// vector's capacity instead of reallocating every tick.
+  [[nodiscard]] const ProcessDemand& collect_demand(util::SimMicros now,
+                                                    double dt);
 
   /// Phase B: inform processes what fraction of CPU demand was granted.
   void grant(double cpu_frac, util::SimMicros now, double dt);
@@ -94,7 +98,13 @@ class DomU final : public Domain {
   }
 
  private:
-  [[nodiscard]] std::vector<GuestProcess*> all_processes() noexcept;
+  /// Visit owned then shared processes without materializing a vector
+  /// (called three times per tick: demand, grant, deliver).
+  template <typename Fn>
+  void for_each_process(Fn&& fn) {
+    for (const auto& p : owned_) fn(p.get());
+    for (GuestProcess* p : shared_) fn(p);
+  }
 
   VmSpec spec_;
   std::vector<std::unique_ptr<GuestProcess>> owned_;

@@ -8,11 +8,17 @@
 /// covering t executes. Tick listeners are the physical machines (via
 /// Cluster); timer events drive workload phase changes and the
 /// monitoring script's sampling.
+///
+/// The queue is a hand-rolled binary min-heap ordered by (time, seq)
+/// with lazy deletion: cancel() only marks the timer dead, and the
+/// heap entry is discarded when it surfaces. Periodic timers are
+/// native heap entries — firing moves the callback out, runs it, and
+/// re-arms the same entry with a fresh sequence number, so a periodic
+/// chain never copies its std::function or allocates per period.
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "voprof/util/units.hpp"
@@ -26,6 +32,13 @@ class TickListener {
   /// Advance by dt seconds, ending at sim time `now`.
   virtual void tick(util::SimMicros now, double dt) = 0;
 };
+
+/// Handle for a scheduled timer; pass to Engine::cancel(). Never 0 for
+/// a live timer.
+using TimerId = std::uint64_t;
+
+/// TimerId value that no schedule_* call ever returns.
+inline constexpr TimerId kInvalidTimer = 0;
 
 /// Deterministic discrete-time engine.
 class Engine {
@@ -44,47 +57,57 @@ class Engine {
 
   /// Schedule a one-shot callback at absolute sim time `at` (>= now).
   /// Events at equal times fire in scheduling order.
-  void schedule_at(util::SimMicros at, std::function<void()> fn);
+  TimerId schedule_at(util::SimMicros at, std::function<void()> fn);
   /// Schedule relative to the current time.
-  void schedule_after(util::SimMicros delay, std::function<void()> fn);
-  /// Schedule a periodic callback; continues until the engine stops.
-  void schedule_every(util::SimMicros period, std::function<void()> fn);
+  TimerId schedule_after(util::SimMicros delay, std::function<void()> fn);
+  /// Schedule a periodic callback, first firing one period from now;
+  /// continues until cancelled or the engine stops.
+  TimerId schedule_every(util::SimMicros period, std::function<void()> fn);
+
+  /// Cancel a pending timer (one-shot not yet fired, or periodic).
+  /// Returns false if the id is unknown, already fired, or already
+  /// cancelled. Safe to call from inside the timer's own callback.
+  bool cancel(TimerId id);
 
   /// Advance simulated time to `until`, firing events and ticks.
   void run_until(util::SimMicros until);
   /// Advance by a duration.
   void run_for(util::SimMicros duration);
 
+  /// Live (non-cancelled) timers still pending.
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return events_.size();
+    return live_.size();
   }
 
  private:
   struct Event {
     util::SimMicros at = 0;
-    std::uint64_t seq = 0;  // tiebreaker: FIFO among equal timestamps
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-  /// Periodic callback state: allocated once per schedule_every and
-  /// shared by every rearm, so firing never copies the user callback.
-  struct PeriodicTask {
-    util::SimMicros period = 0;
+    std::uint64_t seq = 0;      // tiebreaker: FIFO among equal timestamps
+    TimerId id = kInvalidTimer;  // stable across periodic re-arms
+    util::SimMicros period = 0;  // 0 = one-shot
     std::function<void()> fn;
   };
 
+  /// Heap order: earliest (at, seq) at index 0.
+  [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  TimerId push_event(util::SimMicros at, util::SimMicros period,
+                     std::function<void()> fn);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Remove and return the earliest heap entry (moves, never copies).
+  Event pop_min();
   void fire_due_events(util::SimMicros up_to_inclusive);
-  void arm_periodic(std::shared_ptr<PeriodicTask> task);
 
   util::SimMicros tick_period_;
   util::SimMicros now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  TimerId next_id_ = 1;
+  std::vector<Event> heap_;
+  std::unordered_set<TimerId> live_;  // ids pending and not cancelled
   std::vector<TickListener*> listeners_;
 };
 

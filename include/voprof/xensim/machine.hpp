@@ -100,6 +100,11 @@ class PhysicalMachine {
   /// Cumulative counters for every entity on this PM.
   [[nodiscard]] MachineSnapshot snapshot(util::SimMicros now) const;
 
+  /// Snapshot variant for periodic samplers: refreshes `out` in place,
+  /// reusing its guest vector and name strings, so a 1 Hz monitor does
+  /// not reallocate the whole snapshot every sample.
+  void snapshot_into(util::SimMicros now, MachineSnapshot& out) const;
+
   /// CPU granted to a VM in the most recent tick, % of a VCPU
   /// (diagnostics/tests).
   [[nodiscard]] double last_granted_pct(const std::string& vm_name) const;
@@ -113,6 +118,13 @@ class PhysicalMachine {
     std::unique_ptr<DomU> dom;
     double last_granted_pct = 0.0;
     double last_consumed_pct = 0.0;
+  };
+
+  /// An outbound flow awaiting the NIC-saturation verdict this tick.
+  struct PendingOut {
+    const NetTarget* target = nullptr;  // aliases a flow in a guest's demand
+    double kbits = 0.0;
+    int tag = 0;
   };
 
   /// Saturating control-plane response over all guests (Dom0 variant).
@@ -140,6 +152,15 @@ class PhysicalMachine {
   double throttled_nic_kbits_ = 0.0;
   TraceLog* trace_ = nullptr;
   util::SimMicros last_now_ = 0;
+
+  // Per-tick scratch buffers, reused across ticks so the steady-state
+  // tick makes no allocations. demands_ holds pointers into each
+  // guest's last_demand(), valid for the duration of one tick.
+  std::vector<const ProcessDemand*> demands_;
+  std::vector<SchedRequest> requests_;
+  std::vector<double> blocks_wanted_;
+  std::vector<PendingOut> pending_out_;
+  SchedResult sched_;
 };
 
 }  // namespace voprof::sim

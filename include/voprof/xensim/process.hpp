@@ -55,6 +55,9 @@ struct ProcessDemand {
   std::vector<NetFlow> flows;
 
   ProcessDemand& operator+=(const ProcessDemand& other);
+  /// Move variant used on the tick hot path: steals `other`'s flows
+  /// (and their NetTarget strings) instead of copying them.
+  ProcessDemand& operator+=(ProcessDemand&& other);
 };
 
 /// Interface for code running inside a DomU.

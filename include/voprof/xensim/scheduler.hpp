@@ -41,6 +41,12 @@ class CreditScheduler {
   [[nodiscard]] SchedResult allocate(
       const std::vector<SchedRequest>& requests) const;
 
+  /// Allocation variant for the per-tick hot path: writes into `out`,
+  /// reusing its vector capacity, and keeps all intermediate state in
+  /// member scratch buffers — zero allocations at steady state.
+  void allocate_into(const std::vector<SchedRequest>& requests,
+                     SchedResult& out) const;
+
   [[nodiscard]] double capacity_pct() const noexcept { return capacity_pct_; }
   [[nodiscard]] double multi_vm_efficiency() const noexcept {
     return efficiency_;
@@ -49,6 +55,10 @@ class CreditScheduler {
  private:
   double capacity_pct_;
   double efficiency_;
+  // Water-filling scratch, reused across calls (allocate is logically
+  // const; the scratch carries no state between calls).
+  mutable std::vector<double> want_;
+  mutable std::vector<char> satisfied_;
 };
 
 }  // namespace voprof::sim

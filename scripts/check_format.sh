@@ -2,6 +2,9 @@
 # Verify that every tracked C++ file is clang-format clean (dry run, no
 # rewriting). Used by the `format-check` CMake target and the CI lint job.
 #
+# Prints one line per unformatted file and a summary list at the end so
+# CI logs show exactly what to fix without scrolling through diagnostics.
+#
 # Exit codes: 0 clean, 1 violations found, 2 environment problem.
 set -u
 
@@ -16,8 +19,9 @@ if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
   exit 2
 fi
 
-# Tracked C++ sources only; fixtures are deliberately ill-formed inputs
-# for voprof-lint tests, not style exemplars.
+# Tracked C++ sources only — untracked scratch files and build trees are
+# ignored; fixtures are deliberately ill-formed inputs for voprof-lint
+# tests, not style exemplars.
 files=$(git ls-files -- '*.cpp' '*.cc' '*.cxx' '*.hpp' '*.h' '*.hh' \
           ':!tests/lint_fixtures/**')
 
@@ -26,10 +30,24 @@ if [ -z "$files" ]; then
   exit 2
 fi
 
-# shellcheck disable=SC2086  # word-splitting the file list is intended
-if "$CLANG_FORMAT" --dry-run -Werror $files; then
-  echo "check_format: all files formatted."
+bad=""
+checked=0
+for f in $files; do
+  checked=$((checked + 1))
+  if ! "$CLANG_FORMAT" --dry-run -Werror -- "$f" >/dev/null 2>&1; then
+    echo "check_format: NEEDS FORMAT $f" >&2
+    bad="$bad $f"
+  fi
+done
+
+if [ -z "$bad" ]; then
+  echo "check_format: all $checked tracked files formatted."
   exit 0
 fi
-echo "check_format: run '$CLANG_FORMAT -i' on the files above." >&2
+
+echo "check_format: unformatted files:" >&2
+for f in $bad; do
+  echo "  $f" >&2
+done
+echo "check_format: fix with: $CLANG_FORMAT -i$bad" >&2
 exit 1

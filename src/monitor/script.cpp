@@ -131,10 +131,7 @@ MonitorScript::MonitorScript(sim::Engine& engine,
   tools_.push_back(std::make_unique<VmStat>());
 }
 
-MonitorScript::~MonitorScript() {
-  stop();
-  *alive_ = false;
-}
+MonitorScript::~MonitorScript() { stop(); }
 
 double MonitorScript::dom0_overhead_pct() const noexcept {
   double s = 0.0;
@@ -166,25 +163,23 @@ void MonitorScript::start() {
     }
   }
 
-  prev_ = machine_.snapshot(engine_.now());
-  schedule_next();
-}
-
-void MonitorScript::schedule_next() {
-  // Self-rearming one-shot chain (a schedule_every would keep firing
-  // after stop()). The alive flag guards against the script being
-  // destroyed while an event is still queued in the engine.
-  std::shared_ptr<bool> alive = alive_;
-  engine_.schedule_after(config_.interval, [this, alive]() {
-    if (!*alive || !running_) return;
-    take_sample();
-    schedule_next();
-  });
+  machine_.snapshot_into(engine_.now(), prev_);
+  // Native periodic timer: the engine re-arms the same heap entry
+  // after each firing, so sampling never copies the callback or
+  // allocates per interval. stop() cancels it (lazy deletion), after
+  // which the callback can never run again — even if the script is
+  // destroyed while the dead entry is still queued.
+  timer_id_ = engine_.schedule_every(config_.interval,
+                                     [this]() { take_sample(); });
 }
 
 void MonitorScript::stop() {
   if (!running_) return;
   running_ = false;
+  if (timer_id_ != sim::kInvalidTimer) {
+    engine_.cancel(timer_id_);
+    timer_id_ = sim::kInvalidTimer;
+  }
   if (dom0_overhead_id_ >= 0) {
     machine_.dom0().remove_background_cpu(dom0_overhead_id_);
     dom0_overhead_id_ = -1;
@@ -200,63 +195,87 @@ const MeasurementReport& MonitorScript::measure(util::SimMicros duration) {
 }
 
 void MonitorScript::take_sample() {
-  const sim::MachineSnapshot cur = machine_.snapshot(engine_.now());
-  if (cur.time <= prev_.time) return;  // same-instant double fire: skip
+  machine_.snapshot_into(engine_.now(), cur_);
+  if (cur_.time <= prev_.time) return;  // same-instant double fire: skip
   // Mid-run VM creation/removal would desynchronize the snapshot pair;
-  // resynchronize and sample from the next interval on.
-  if (cur.guests.size() != prev_.guests.size()) {
-    prev_ = cur;
+  // resynchronize and sample from the next interval on. Name
+  // comparison guards against same-size churn (remove + add within one
+  // interval).
+  bool desynced = cur_.guests.size() != prev_.guests.size();
+  for (std::size_t i = 0; !desynced && i < cur_.guests.size(); ++i) {
+    desynced = cur_.guests[i].name != prev_.guests[i].name;
+  }
+  if (desynced) {
+    std::swap(prev_, cur_);
     return;
   }
 
-  const XenTop xentop;
-  const TopTool top;
-  const MpStat mpstat;
-  const IfConfig ifconfig;
-  const VmStat vmstat;
-
-  const util::SimMicros t = cur.time;
+  const double s = util::to_seconds(cur_.time - prev_.time);
+  const util::SimMicros t = cur_.time;
   double vm_mem_total = 0.0;
 
-  for (const auto& g : cur.guests) {
-    SeriesSet& s = report_.series_mutable(g.name);
+  // Each entity's four metrics derive from ONE counter-delta pass per
+  // domain (the batched equivalent of calling every tool's per-metric
+  // read; same arithmetic, one name lookup and one delta per domain
+  // instead of one per cell).
+  for (std::size_t i = 0; i < cur_.guests.size(); ++i) {
+    const UtilSample u = domain_util(prev_.guests[i].counters,
+                                     cur_.guests[i].counters, s);
+    SeriesSet& set = report_.series_mutable(cur_.guests[i].name);
     // Per Sec. III-A: xentop supplies VM CPU/IO/BW from Dom0; top runs
     // inside the guest for memory.
-    s.cpu.add(t, xentop.read_vm(prev_, cur, g.name, Metric::kCpu).value());
-    s.io.add(t, xentop.read_vm(prev_, cur, g.name, Metric::kIo).value());
-    s.bw.add(t, xentop.read_vm(prev_, cur, g.name, Metric::kBw).value());
-    const double mem = top.read_vm(prev_, cur, g.name, Metric::kMem).value();
-    s.mem.add(t, mem);
-    vm_mem_total += mem;
+    set.cpu.add(t, u.cpu_pct);
+    set.io.add(t, u.io_blocks_per_s);
+    set.bw.add(t, u.bw_kbps);
+    set.mem.add(t, u.mem_mib);
+    vm_mem_total += u.mem_mib;
+  }
+
+  const UtilSample d0 =
+      domain_util(prev_.dom0.counters, cur_.dom0.counters, s);
+  {
+    // xentop supplies Dom0 CPU/IO/BW; top supplies Dom0 memory.
+    SeriesSet& set = report_.series_mutable(MeasurementReport::kDom0Key);
+    set.cpu.add(t, d0.cpu_pct);
+    set.io.add(t, d0.io_blocks_per_s);
+    set.bw.add(t, d0.bw_kbps);
+    set.mem.add(t, d0.mem_mib);
+  }
+
+  const double hyp_cpu =
+      domain_util(prev_.hypervisor, cur_.hypervisor, s).cpu_pct;
+  {
+    // mpstat "in Xen" supplies hypervisor CPU; nothing else is
+    // measurable for it (Table I).
+    SeriesSet& set = report_.series_mutable(MeasurementReport::kHypKey);
+    set.cpu.add(t, hyp_cpu);
+    set.mem.add(t, 0.0);
+    set.io.add(t, 0.0);
+    set.bw.add(t, 0.0);
   }
 
   {
-    SeriesSet& s = report_.series_mutable(MeasurementReport::kDom0Key);
-    s.cpu.add(t, xentop.read_dom0(prev_, cur, Metric::kCpu).value());
-    s.io.add(t, xentop.read_dom0(prev_, cur, Metric::kIo).value());
-    s.bw.add(t, xentop.read_dom0(prev_, cur, Metric::kBw).value());
-    s.mem.add(t, top.read_dom0(prev_, cur, Metric::kMem).value());
-  }
-
-  {
-    SeriesSet& s = report_.series_mutable(MeasurementReport::kHypKey);
-    s.cpu.add(t, mpstat.read_pm(prev_, cur, Metric::kCpu).value());
-    s.mem.add(t, 0.0);
-    s.io.add(t, 0.0);
-    s.bw.add(t, 0.0);
-  }
-
-  {
-    SeriesSet& s = report_.series_mutable(MeasurementReport::kPmKey);
-    s.cpu.add(t, vmstat.read_pm(prev_, cur, Metric::kCpu).value());
-    s.io.add(t, vmstat.read_pm(prev_, cur, Metric::kIo).value());
-    s.bw.add(t, ifconfig.read_pm(prev_, cur, Metric::kBw).value());
+    // vmstat supplies PM CPU (indirectly: Dom0 + hypervisor + guests,
+    // Sec. III-C) and PM I/O; ifconfig supplies PM bandwidth.
+    const DeviceUtil dev = device_util(prev_.devices, cur_.devices, s);
+    double pm_cpu = d0.cpu_pct + hyp_cpu;
+    for (std::size_t i = 0; i < cur_.guests.size(); ++i) {
+      pm_cpu += domain_util(prev_.guests[i].counters,
+                            cur_.guests[i].counters, s)
+                    .cpu_pct;
+    }
+    SeriesSet& set = report_.series_mutable(MeasurementReport::kPmKey);
+    set.cpu.add(t, pm_cpu);
+    set.io.add(t, dev.disk_blocks_per_s);
+    set.bw.add(t, dev.nic_kbps);
     // No tool measures PM memory (Table I); the paper estimates it as
     // Dom0 + sum of guests.
-    s.mem.add(t, cur.dom0.counters.mem_mib + vm_mem_total);
+    set.mem.add(t, cur_.dom0.counters.mem_mib + vm_mem_total);
   }
 
-  prev_ = cur;
+  // Swap instead of copy: prev_ takes the fresh snapshot and cur_
+  // keeps the old buffers to be overwritten next interval.
+  std::swap(prev_, cur_);
 }
 
 }  // namespace voprof::mon

@@ -36,10 +36,19 @@ void MicroCreditScheduler::redistribute(
 
 SchedResult MicroCreditScheduler::tick(
     const std::vector<SchedRequest>& requests, double dt) {
-  VOPROF_REQUIRE(dt > 0.0);
   SchedResult result;
+  tick_into(requests, dt, result);
+  return result;
+}
+
+void MicroCreditScheduler::tick_into(
+    const std::vector<SchedRequest>& requests, double dt, SchedResult& out) {
+  VOPROF_REQUIRE(dt > 0.0);
+  SchedResult& result = out;
   result.granted_pct.assign(requests.size(), 0.0);
-  if (requests.empty()) return result;
+  result.total_granted_pct = 0.0;
+  result.contended = false;
+  if (requests.empty()) return;
 
   if (credits_.size() != requests.size()) {
     // Population changed (VM created/destroyed): reset balances.
@@ -60,7 +69,8 @@ SchedResult MicroCreditScheduler::tick(
       dt * (runnable >= 2 ? efficiency_ : 1.0);
 
   // Remaining demand of each VCPU this tick, in core-seconds.
-  std::vector<double> want(requests.size());
+  std::vector<double>& want = want_;
+  want.assign(requests.size(), 0.0);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     want[i] = std::min(requests[i].demand_pct, requests[i].cap_pct) / 100.0 *
               dt;
@@ -68,7 +78,8 @@ SchedResult MicroCreditScheduler::tick(
 
   // Priority order: UNDER (credits > 0) before OVER, larger balance
   // first within a class — Xen's runqueue ordering at this granularity.
-  std::vector<std::size_t> order(requests.size());
+  std::vector<std::size_t>& order = order_;
+  order.resize(requests.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     const bool ua = credits_[a] > 0.0, ub = credits_[b] > 0.0;
@@ -103,7 +114,6 @@ SchedResult MicroCreditScheduler::tick(
     since_accounting_s_ = 0.0;
     redistribute(requests);
   }
-  return result;
 }
 
 }  // namespace voprof::sim

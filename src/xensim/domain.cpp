@@ -32,34 +32,32 @@ std::size_t DomU::process_count() const noexcept {
   return owned_.size() + shared_.size();
 }
 
-std::vector<GuestProcess*> DomU::all_processes() noexcept {
-  std::vector<GuestProcess*> out;
-  out.reserve(process_count());
-  for (const auto& p : owned_) out.push_back(p.get());
-  for (GuestProcess* p : shared_) out.push_back(p);
-  return out;
-}
-
-ProcessDemand DomU::collect_demand(util::SimMicros now, double dt) {
-  ProcessDemand total;
-  for (GuestProcess* p : all_processes()) total += p->demand(now, dt);
+const ProcessDemand& DomU::collect_demand(util::SimMicros now, double dt) {
+  // Accumulate directly into last_demand_: clear() keeps the flow
+  // vector's capacity, so steady-state ticks do not allocate here.
+  last_demand_.cpu_pct = 0.0;
+  last_demand_.mem_mib = 0.0;
+  last_demand_.io_blocks = 0.0;
+  last_demand_.flows.clear();
+  for_each_process(
+      [&](GuestProcess* p) { last_demand_ += p->demand(now, dt); });
   // Frontend-driver enforcement of the virtual-disk throughput cap
   // (paper: "maximum I/O capacity limit of about 90 blocks/s").
   const double max_blocks = spec_.io_cap_blocks_per_s * dt;
-  total.io_blocks = std::min(total.io_blocks, max_blocks);
+  last_demand_.io_blocks = std::min(last_demand_.io_blocks, max_blocks);
   // A single-VCPU guest cannot demand more than its VCPU count allows.
-  total.cpu_pct = std::min(total.cpu_pct, spec_.cpu_capacity_pct());
-  last_demand_ = total;
+  last_demand_.cpu_pct =
+      std::min(last_demand_.cpu_pct, spec_.cpu_capacity_pct());
   return last_demand_;
 }
 
 void DomU::grant(double cpu_frac, util::SimMicros now, double dt) {
-  for (GuestProcess* p : all_processes()) p->granted(cpu_frac, now, dt);
+  for_each_process([&](GuestProcess* p) { p->granted(cpu_frac, now, dt); });
 }
 
 void DomU::deliver(double kbits, int tag, util::SimMicros now) {
   charge_rx(kbits);
-  for (GuestProcess* p : all_processes()) p->on_receive(kbits, tag, now);
+  for_each_process([&](GuestProcess* p) { p->on_receive(kbits, tag, now); });
 }
 
 void DomU::refresh_memory() noexcept {

@@ -1,7 +1,6 @@
 #include "voprof/xensim/engine.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <utility>
 
 #include "voprof/util/assert.hpp"
@@ -22,40 +21,90 @@ void Engine::remove_listener(TickListener* listener) noexcept {
                    listeners_.end());
 }
 
-void Engine::schedule_at(util::SimMicros at, std::function<void()> fn) {
+TimerId Engine::push_event(util::SimMicros at, util::SimMicros period,
+                           std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  heap_.push_back(Event{at, next_seq_++, id, period, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  live_.insert(id);
+  return id;
+}
+
+TimerId Engine::schedule_at(util::SimMicros at, std::function<void()> fn) {
   VOPROF_REQUIRE_MSG(at >= now_, "cannot schedule an event in the past");
-  events_.push(Event{at, next_seq_++, std::move(fn)});
+  return push_event(at, 0, std::move(fn));
 }
 
-void Engine::schedule_after(util::SimMicros delay, std::function<void()> fn) {
+TimerId Engine::schedule_after(util::SimMicros delay,
+                               std::function<void()> fn) {
   VOPROF_REQUIRE(delay >= 0);
-  schedule_at(now_ + delay, std::move(fn));
+  return push_event(now_ + delay, 0, std::move(fn));
 }
 
-void Engine::schedule_every(util::SimMicros period, std::function<void()> fn) {
+TimerId Engine::schedule_every(util::SimMicros period,
+                               std::function<void()> fn) {
   VOPROF_REQUIRE(period > 0);
-  // Re-arming one-shot: each firing schedules the next. The callback
-  // lives in one shared PeriodicTask for the whole chain; rearming
-  // moves the same shared_ptr into the next event instead of copying
-  // the callback and allocating a fresh wrapper every period.
-  arm_periodic(std::make_shared<PeriodicTask>(PeriodicTask{period, std::move(fn)}));
+  return push_event(now_ + period, period, std::move(fn));
 }
 
-void Engine::arm_periodic(std::shared_ptr<PeriodicTask> task) {
-  PeriodicTask* t = task.get();
-  schedule_after(t->period, [this, task = std::move(task)]() mutable {
-    task->fn();
-    arm_periodic(std::move(task));
-  });
+bool Engine::cancel(TimerId id) {
+  // Lazy deletion: drop the id from the live set; the heap entry is
+  // skipped (and its callback destroyed) when it reaches the top.
+  return live_.erase(id) > 0;
+}
+
+void Engine::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Engine::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    if (left < n && before(heap_[left], heap_[best])) best = left;
+    if (right < n && before(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+Engine::Event Engine::pop_min() {
+  Event ev = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return ev;
 }
 
 void Engine::fire_due_events(util::SimMicros up_to_inclusive) {
-  while (!events_.empty() && events_.top().at <= up_to_inclusive) {
-    // Copy out before pop: the callback may schedule new events.
-    Event ev = events_.top();
-    events_.pop();
+  while (!heap_.empty() && heap_.front().at <= up_to_inclusive) {
+    // Move out before firing: the callback may schedule new events,
+    // invalidating heap references.
+    Event ev = pop_min();
+    const auto it = live_.find(ev.id);
+    if (it == live_.end()) continue;  // lazily deleted
+    // A firing one-shot is no longer pending; a periodic stays live so
+    // its callback can cancel() it.
+    if (ev.period == 0) live_.erase(it);
     now_ = std::max(now_, ev.at);
     ev.fn();
+    // Re-arm a periodic timer AFTER its callback ran, with a fresh
+    // sequence number, so events the callback scheduled order ahead
+    // of the next occurrence — exactly as a self-re-arming one-shot
+    // chain would.
+    if (ev.period > 0 && live_.find(ev.id) != live_.end()) {
+      heap_.push_back(Event{ev.at + ev.period, next_seq_++, ev.id, ev.period,
+                            std::move(ev.fn)});
+      sift_up(heap_.size() - 1);
+    }
   }
 }
 

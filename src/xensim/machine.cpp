@@ -154,21 +154,26 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
   devices_.nic_kbits += inbound_inter_kbits + injected_rx;
 
   // ---- 2. Phase A: collect guest demands. ------------------------------
-  std::vector<ProcessDemand> demands;
-  demands.reserve(guests_.size());
-  std::vector<SchedRequest> requests;
-  requests.reserve(guests_.size());
+  // The scratch vectors are members reused tick to tick; demands_
+  // holds pointers into each guest's last_demand(), which stays valid
+  // until that guest's next collect_demand call.
+  demands_.clear();
+  requests_.clear();
   for (auto& g : guests_) {
-    demands.push_back(g.dom->collect_demand(now, dt));
-    requests.push_back(SchedRequest{demands.back().cpu_pct,
-                                    g.dom->spec().cpu_capacity_pct(), 1.0});
+    demands_.push_back(&g.dom->collect_demand(now, dt));
+    requests_.push_back(SchedRequest{demands_.back()->cpu_pct,
+                                     g.dom->spec().cpu_capacity_pct(), 1.0});
   }
+  const std::vector<SchedRequest>& requests = requests_;
 
   // ---- 3. Credit scheduler: allocate the guest CPU pool (macro
   // closed form or the discrete Xen algorithm, per MachineSpec). ------
-  const SchedResult sched = spec_.scheduler == SchedulerMode::kMicro
-                                ? micro_scheduler_.tick(requests, dt)
-                                : scheduler_.allocate(requests);
+  if (spec_.scheduler == SchedulerMode::kMicro) {
+    micro_scheduler_.tick_into(requests, dt, sched_);
+  } else {
+    scheduler_.allocate_into(requests, sched_);
+  }
+  const SchedResult& sched = sched_;
   if (trace_ != nullptr && sched.contended) {
     double unmet = 0.0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -181,11 +186,12 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
   }
 
   // ---- 4a. First pass: CPU grants and activity generation. ------------
-  std::vector<double> blocks_wanted(guests_.size(), 0.0);
+  blocks_wanted_.assign(guests_.size(), 0.0);
+  std::vector<double>& blocks_wanted = blocks_wanted_;
   double blocks_wanted_total = 0.0;
   for (std::size_t i = 0; i < guests_.size(); ++i) {
     auto& g = guests_[i];
-    const ProcessDemand& d = demands[i];
+    const ProcessDemand& d = *demands_[i];
     const double granted = sched.granted_pct[i];
     const double frac = d.cpu_pct > 0.0 ? granted / d.cpu_pct : 1.0;
     g.last_granted_pct = granted;
@@ -227,16 +233,12 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
   double guest_tx_kbits_total = 0.0;
   double intra_kbits = 0.0;
   double outbound_kbits = 0.0;
-  struct PendingOut {
-    NetTarget target;
-    double kbits = 0.0;
-    int tag = 0;
-  };
-  std::vector<PendingOut> pending_out;
+  pending_out_.clear();
+  std::vector<PendingOut>& pending_out = pending_out_;
 
   for (std::size_t i = 0; i < guests_.size(); ++i) {
     auto& g = guests_[i];
-    const ProcessDemand& d = demands[i];
+    const ProcessDemand& d = *demands_[i];
     const double frac =
         d.cpu_pct > 0.0 ? sched.granted_pct[i] / d.cpu_pct : 1.0;
 
@@ -261,7 +263,7 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
         // Remote, external, or a peer that has been live-migrated
         // away: goes out via the NIC; the cluster router relocates
         // flows whose addressed PM no longer hosts the VM.
-        pending_out.push_back(PendingOut{f.target, kbits, f.tag});
+        pending_out.push_back(PendingOut{&f.target, kbits, f.tag});
         outbound_kbits += kbits;
       }
     }
@@ -294,13 +296,13 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
     if (kbits <= 0.0) continue;
     outbound_sent += kbits;
     outbox_.push_back(
-        OutboundFlow{pending_out[i].target, kbits, pending_out[i].tag});
+        OutboundFlow{*pending_out[i].target, kbits, pending_out[i].tag});
   }
   // Attribute sent traffic back to the guests proportionally.
   if (outbound_kbits > 0.0) {
     std::size_t flow_idx = 0;
     for (std::size_t i = 0; i < guests_.size(); ++i) {
-      const ProcessDemand& d = demands[i];
+      const ProcessDemand& d = *demands_[i];
       for (const NetFlow& f : d.flows) {
         if (!f.target.is_external() && f.target.pm_id == id_) continue;
         if (flow_idx < pending_out.size()) {
@@ -355,15 +357,25 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
 
 MachineSnapshot PhysicalMachine::snapshot(util::SimMicros now) const {
   MachineSnapshot snap;
-  snap.time = now;
-  snap.dom0 = DomainSnapshot{dom0_.name(), dom0_.counters()};
-  snap.hypervisor = hypervisor_;
-  snap.guests.reserve(guests_.size());
-  for (const auto& g : guests_) {
-    snap.guests.push_back(DomainSnapshot{g.dom->name(), g.dom->counters()});
-  }
-  snap.devices = devices_;
+  snapshot_into(now, snap);
   return snap;
+}
+
+void PhysicalMachine::snapshot_into(util::SimMicros now,
+                                    MachineSnapshot& out) const {
+  out.time = now;
+  // Assign fields in place: the string assignments and the guest
+  // vector reuse their existing capacity, so a periodic sampler only
+  // allocates on its first sample (or when a VM appears).
+  out.dom0.name = dom0_.name();
+  out.dom0.counters = dom0_.counters();
+  out.hypervisor = hypervisor_;
+  out.guests.resize(guests_.size());
+  for (std::size_t i = 0; i < guests_.size(); ++i) {
+    out.guests[i].name = guests_[i].dom->name();
+    out.guests[i].counters = guests_[i].dom->counters();
+  }
+  out.devices = devices_;
 }
 
 double PhysicalMachine::last_granted_pct(const std::string& vm_name) const {

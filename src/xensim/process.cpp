@@ -1,5 +1,8 @@
 #include "voprof/xensim/process.hpp"
 
+#include <iterator>
+#include <utility>
+
 namespace voprof::sim {
 
 ProcessDemand& ProcessDemand::operator+=(const ProcessDemand& other) {
@@ -7,6 +10,19 @@ ProcessDemand& ProcessDemand::operator+=(const ProcessDemand& other) {
   mem_mib += other.mem_mib;
   io_blocks += other.io_blocks;
   flows.insert(flows.end(), other.flows.begin(), other.flows.end());
+  return *this;
+}
+
+ProcessDemand& ProcessDemand::operator+=(ProcessDemand&& other) {
+  cpu_pct += other.cpu_pct;
+  mem_mib += other.mem_mib;
+  io_blocks += other.io_blocks;
+  if (flows.empty()) {
+    flows = std::move(other.flows);
+  } else {
+    flows.insert(flows.end(), std::make_move_iterator(other.flows.begin()),
+                 std::make_move_iterator(other.flows.end()));
+  }
   return *this;
 }
 

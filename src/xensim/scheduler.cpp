@@ -17,8 +17,17 @@ CreditScheduler::CreditScheduler(double capacity_pct,
 SchedResult CreditScheduler::allocate(
     const std::vector<SchedRequest>& requests) const {
   SchedResult result;
+  allocate_into(requests, result);
+  return result;
+}
+
+void CreditScheduler::allocate_into(const std::vector<SchedRequest>& requests,
+                                    SchedResult& out) const {
+  SchedResult& result = out;
   result.granted_pct.assign(requests.size(), 0.0);
-  if (requests.empty()) return result;
+  result.total_granted_pct = 0.0;
+  result.contended = false;
+  if (requests.empty()) return;
 
   std::size_t runnable = 0;
   for (const auto& r : requests) {
@@ -37,11 +46,13 @@ SchedResult CreditScheduler::allocate(
   // Weighted water-filling: repeatedly hand every unsatisfied VCPU its
   // weighted share of the remaining pool; VCPUs that need less return
   // the slack (work conservation). Terminates in <= n rounds.
-  std::vector<double> want(requests.size());
+  std::vector<double>& want = want_;
+  want.assign(requests.size(), 0.0);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     want[i] = std::min(requests[i].demand_pct, requests[i].cap_pct);
   }
-  std::vector<bool> satisfied(requests.size(), false);
+  std::vector<char>& satisfied = satisfied_;
+  satisfied.assign(requests.size(), 0);
   double remaining = pool;
   for (;;) {
     double active_weight = 0.0;
@@ -62,7 +73,7 @@ SchedResult CreditScheduler::allocate(
       result.granted_pct[i] += give;
       handed_out += give;
       if (give >= need - 1e-12) {
-        satisfied[i] = true;
+        satisfied[i] = 1;
         anyone_capped = true;
       }
     }
@@ -77,7 +88,6 @@ SchedResult CreditScheduler::allocate(
       break;
     }
   }
-  return result;
 }
 
 }  // namespace voprof::sim

@@ -125,6 +125,90 @@ TEST(Engine, PendingEventCount) {
   EXPECT_EQ(engine.pending_events(), 1u);
 }
 
+TEST(Engine, CancelOneShotPreventsFiring) {
+  Engine engine;
+  int fired = 0;
+  const TimerId id = engine.schedule_after(milliseconds(10), [&] { ++fired; });
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_FALSE(engine.cancel(id));  // already cancelled
+  engine.run_for(milliseconds(50));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancelPeriodicStopsChain) {
+  Engine engine;
+  int fired = 0;
+  const TimerId id = engine.schedule_every(seconds(1), [&] { ++fired; });
+  engine.run_for(seconds(3));
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run_for(seconds(3));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(Engine, PeriodicMayCancelItself) {
+  Engine engine;
+  int fired = 0;
+  TimerId id = kInvalidTimer;
+  id = engine.schedule_every(seconds(1), [&] {
+    if (++fired == 2) {
+      EXPECT_TRUE(engine.cancel(id));
+    }
+  });
+  engine.run_for(seconds(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(Engine, CancelOfFiredOneShotReturnsFalse) {
+  Engine engine;
+  const TimerId id = engine.schedule_after(milliseconds(10), [] {});
+  engine.run_for(milliseconds(20));
+  EXPECT_FALSE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(kInvalidTimer));
+}
+
+TEST(Engine, PeriodicOrdersAfterEventsScheduledByItsCallback) {
+  // A periodic's next occurrence is armed AFTER its callback runs, so
+  // a same-timestamp event scheduled from inside the callback fires
+  // first — matching a self-re-arming one-shot chain exactly.
+  Engine engine;
+  std::vector<std::string> order;
+  engine.schedule_every(seconds(1), [&] {
+    order.push_back("periodic");
+    if (order.size() == 1) {
+      engine.schedule_after(seconds(1), [&] { order.push_back("one-shot"); });
+    }
+  });
+  engine.run_for(seconds(2));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "periodic");
+  EXPECT_EQ(order[1], "one-shot");
+  EXPECT_EQ(order[2], "periodic");
+}
+
+TEST(Engine, ManyInterleavedTimersKeepDeterministicOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    const auto at = milliseconds(10 * (1 + i % 7));
+    engine.schedule_at(at, [&order, i] { order.push_back(i); });
+  }
+  engine.run_for(seconds(1));
+  ASSERT_EQ(order.size(), 50u);
+  // Sorted by (time, scheduling order): stable within a timestamp.
+  std::vector<int> expected;
+  for (int slot = 1; slot <= 7; ++slot) {
+    for (int i = 0; i < 50; ++i) {
+      if (1 + i % 7 == slot) expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
 TEST(Engine, RejectsBadConstruction) {
   EXPECT_THROW(Engine(0), util::ContractViolation);
   EXPECT_THROW(Engine(-5), util::ContractViolation);

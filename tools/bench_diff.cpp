@@ -1,0 +1,141 @@
+#include "bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "voprof/util/assert.hpp"
+#include "voprof/util/table.hpp"
+
+namespace voprof::tools {
+
+namespace {
+
+/// name -> median wall seconds for every benchmark in a record, in
+/// document order. Validates the voprof-bench-1 schema on the way.
+std::vector<std::pair<std::string, double>> medians(const util::Json& doc,
+                                                    const char* label) {
+  const std::string who = std::string("bench-diff: ") + label;
+  if (!doc.is_object()) {
+    throw util::JsonError(who + ": document is not an object");
+  }
+  const util::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "voprof-bench-1") {
+    throw util::JsonError(who + ": missing or unsupported schema "
+                                "(want \"voprof-bench-1\")");
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (const util::Json& b : doc.at("benchmarks").as_array()) {
+    const std::string& name = b.at("name").as_string();
+    const double median = b.at("wall_s").at("median").as_number();
+    if (!(median > 0.0) || !std::isfinite(median)) {
+      throw util::JsonError(who + ": benchmark \"" + name +
+                            "\" has a non-positive median");
+    }
+    out.emplace_back(name, median);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool BenchDiffReport::has_regression() const noexcept {
+  return std::any_of(compared.begin(), compared.end(), [](const auto& c) {
+    return c.verdict == BenchVerdict::kRegression;
+  });
+}
+
+bool BenchDiffReport::has_improvement() const noexcept {
+  return std::any_of(compared.begin(), compared.end(), [](const auto& c) {
+    return c.verdict == BenchVerdict::kImprovement;
+  });
+}
+
+BenchDiffReport bench_diff(const util::Json& baseline,
+                           const util::Json& current, double threshold) {
+  VOPROF_REQUIRE_MSG(threshold > 0.0 && threshold < 10.0,
+                     "bench-diff threshold must be in (0, 10)");
+  const auto base = medians(baseline, "baseline");
+  const auto cur = medians(current, "current");
+
+  BenchDiffReport report;
+  for (const auto& [name, cur_median] : cur) {
+    const auto it = std::find_if(
+        base.begin(), base.end(),
+        [&name = name](const auto& b) { return b.first == name; });
+    if (it == base.end()) {
+      report.only_in_current.push_back(name);
+      continue;
+    }
+    BenchComparison c;
+    c.name = name;
+    c.baseline_median_s = it->second;
+    c.current_median_s = cur_median;
+    c.ratio = cur_median / it->second;
+    if (c.ratio > 1.0 + threshold) {
+      c.verdict = BenchVerdict::kRegression;
+    } else if (c.ratio < 1.0 - threshold) {
+      c.verdict = BenchVerdict::kImprovement;
+    }
+    report.compared.push_back(std::move(c));
+  }
+  for (const auto& [name, median] : base) {
+    (void)median;
+    const bool in_cur = std::any_of(
+        cur.begin(), cur.end(),
+        [&name = name](const auto& c) { return c.first == name; });
+    if (!in_cur) report.only_in_baseline.push_back(name);
+  }
+  return report;
+}
+
+BenchDiffReport bench_diff_files(const std::string& baseline,
+                                 const std::string& current,
+                                 double threshold) {
+  const auto load = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      throw util::ContractViolation("bench-diff: cannot read " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return util::Json::parse(text.str());
+  };
+  return bench_diff(load(baseline), load(current), threshold);
+}
+
+std::string format_bench_diff(const BenchDiffReport& report,
+                              double threshold) {
+  std::string out;
+  out += "bench-diff (threshold " +
+         util::fmt(threshold * 100.0, 0) + "% on median wall time)\n";
+  for (const auto& c : report.compared) {
+    const char* tag = c.verdict == BenchVerdict::kRegression ? "REGRESSION"
+                      : c.verdict == BenchVerdict::kImprovement
+                          ? "improvement"
+                          : "ok";
+    out += "  " + c.name + ": " + util::fmt(c.baseline_median_s * 1e3, 3) +
+           " ms -> " + util::fmt(c.current_median_s * 1e3, 3) + " ms (" +
+           util::fmt(c.ratio, 3) + "x)  " + tag + "\n";
+  }
+  for (const auto& n : report.only_in_baseline) {
+    out += "  " + n + ": only in baseline (skipped)\n";
+  }
+  for (const auto& n : report.only_in_current) {
+    out += "  " + n + ": only in current (skipped)\n";
+  }
+  return out;
+}
+
+int bench_diff_exit_code(const BenchDiffReport& report,
+                         bool report_improvement) noexcept {
+  if (report.has_regression()) return kBenchDiffExitRegression;
+  if (report_improvement && report.has_improvement()) {
+    return kBenchDiffExitImprovement;
+  }
+  return kBenchDiffExitNeutral;
+}
+
+}  // namespace voprof::tools

@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_diff.hpp"
 #include "voprof/scenario/scenario.hpp"
 #include "voprof/util/cli.hpp"
 #include "voprof/voprof.hpp"
@@ -62,7 +63,12 @@ int usage() {
       "                  --trace FILE [--method lms|ols] [--resamples N]\n"
       "  simulate      run a declarative scenario (INI) and print the\n"
       "                  measured utilizations\n"
-      "                  --scenario FILE [--csv OUT.csv]\n";
+      "                  --scenario FILE [--csv OUT.csv]\n"
+      "  bench-diff    compare two BENCH_*.json perf records\n"
+      "                  --baseline FILE --current FILE\n"
+      "                  [--threshold FRAC] [--report-improvement]\n"
+      "                  exit 0 = ok, 1 = regression, 2 = bad input,\n"
+      "                  4 = improvement (with --report-improvement)\n";
   return 2;
 }
 
@@ -259,11 +265,28 @@ int cmd_rubis(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_bench_diff(const util::CliArgs& args) {
+  try {
+    const double threshold = args.get_double("threshold", 0.25);
+    const tools::BenchDiffReport report = tools::bench_diff_files(
+        args.get("baseline"), args.get("current"), threshold);
+    std::cout << tools::format_bench_diff(report, threshold);
+    return tools::bench_diff_exit_code(report,
+                                       args.get_bool("report-improvement"));
+  } catch (const std::exception& e) {
+    // Input/usage problems get a distinct exit code so CI can tell a
+    // broken gate from a real perf regression.
+    std::cerr << "voprofctl: " << e.what() << '\n';
+    return tools::kBenchDiffExitError;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const util::CliArgs args = util::CliArgs::parse(argc, argv);
+    const util::CliArgs args =
+        util::CliArgs::parse(argc, argv, {"report-improvement"});
     const std::string& cmd = args.command();
     if (cmd == "train") return cmd_train(args);
     if (cmd == "export-trace") return cmd_export_trace(args);
@@ -273,6 +296,7 @@ int main(int argc, char** argv) {
     if (cmd == "rubis") return cmd_rubis(args);
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "bench-diff") return cmd_bench_diff(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "voprofctl: " << e.what() << '\n';
