@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "voprof/obs/trace.hpp"
 #include "voprof/util/assert.hpp"
 
 #if defined(__GLIBC__)
@@ -95,6 +96,14 @@ EnvInfo capture_env() {
 #ifdef VOPROF_SANITIZE_STR
   env.sanitizers = VOPROF_SANITIZE_STR;
 #endif
+#ifdef VOPROF_GIT_DESCRIBE
+  env.git_describe = VOPROF_GIT_DESCRIBE;
+#else
+  env.git_describe = "unknown";
+#endif
+#ifdef VOPROF_CXX_FLAGS
+  env.cxx_flags = VOPROF_CXX_FLAGS;
+#endif
 #if defined(__linux__)
   env.os = "linux";
 #elif defined(__APPLE__)
@@ -115,7 +124,11 @@ EnvInfo capture_env() {
 }
 
 Session::Session(std::string binary_name)
-    : binary_name_(std::move(binary_name)), env_(capture_env()) {}
+    : binary_name_(std::move(binary_name)), env_(capture_env()) {
+  // Honour VOPROF_TRACE so any bench binary can emit a Chrome trace of
+  // its reps without per-binary wiring.
+  obs::TraceCollector::global().init_from_env();
+}
 
 Session::~Session() {
   if (auto_write_ && dirty_) write_file();
@@ -134,6 +147,7 @@ void Session::bench(const std::string& name, BenchOptions opt,
   m.reps = opt.reps;
   m.wall_s.reserve(static_cast<std::size_t>(opt.reps));
   for (int i = 0; i < opt.reps; ++i) {
+    const obs::WallSpan span("bench", name.c_str());
     const double t0 = now_wall_s();
     const RepResult rep = body();
     const double wall = std::max(1e-12, now_wall_s() - t0);
@@ -173,6 +187,8 @@ util::Json Session::to_json() const {
   env.set("compiler", env_.compiler);
   env.set("build_type", env_.build_type);
   env.set("sanitizers", env_.sanitizers);
+  env.set("git_describe", env_.git_describe);
+  env.set("cxx_flags", env_.cxx_flags);
   env.set("os", env_.os);
   env.set("hardware_threads", env_.hardware_threads);
   env.set("timestamp_utc", env_.timestamp_utc);

@@ -75,6 +75,8 @@ struct EnvInfo {
   std::string compiler;
   std::string build_type;
   std::string sanitizers;
+  std::string git_describe;  ///< `git describe --always --dirty` at configure
+  std::string cxx_flags;     ///< effective CMAKE_CXX_FLAGS for the build type
   std::string os;
   int hardware_threads = 0;
   std::string timestamp_utc;

@@ -1,0 +1,171 @@
+#pragma once
+/// \file metrics.hpp
+/// Low-overhead metrics registry: named counters, gauges and
+/// fixed-bucket histograms that engine, scheduler, machine, monitor,
+/// TaskPool and the sweep runner register into. The paper's method is
+/// concurrent observation — knowing what every layer was doing while
+/// the numbers moved — and this registry is the simulator-internal
+/// analogue: cheap enough to leave on, inspectable on demand.
+///
+/// Concurrency contract: registration (Registry::counter & friends)
+/// takes a mutex and returns a reference that stays valid for the
+/// process lifetime; the write paths (Counter::add, Gauge::set,
+/// Histogram::observe) are lock-free relaxed atomics, safe from any
+/// thread. Snapshots are taken on demand and are only guaranteed to be
+/// exact once concurrent writers have quiesced (e.g. after a TaskPool
+/// join) — the reader never blocks a writer either way.
+///
+/// Zero-cost when disabled: building with -DVOPROF_OBS=OFF compiles
+/// every write path to nothing (kObsCompiled folds to false below), so
+/// the hot loops carry no atomics at all.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace voprof::obs {
+
+#if defined(VOPROF_OBS) && VOPROF_OBS
+inline constexpr bool kObsCompiled = true;
+#else
+inline constexpr bool kObsCompiled = false;
+#endif
+
+/// Monotonic event count (events fired, samples taken, cells run...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if constexpr (kObsCompiled) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or high-water) double value.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if constexpr (kObsCompiled) {
+      value_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  /// Raise the gauge to `v` if larger (high-water mark, e.g. max heap
+  /// depth). Lock-free CAS; no-op once the mark is reached.
+  void set_max(double v) noexcept {
+    if constexpr (kObsCompiled) {
+      double cur = value_.load(std::memory_order_relaxed);
+      while (v > cur &&
+             !value_.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+      }
+    } else {
+      (void)v;
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i],
+/// plus one implicit overflow bucket. Bucket layout is fixed at
+/// registration so observe() is a search plus one relaxed increment.
+class Histogram {
+ public:
+  /// \param upper_bounds  strictly increasing bucket upper bounds.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< as registered
+    std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;             ///< total observations
+    double sum = 0.0;                    ///< sum of observed values
+    [[nodiscard]] double mean() const noexcept {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset() noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_+1 cells
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide name -> metric map. Names are dotted,
+/// "<category>.<what>" (e.g. "engine.events_fired"); the category
+/// prefix groups metrics in trace exports and `voprofctl trace`.
+class Registry {
+ public:
+  /// The shared instance every component registers into. Intentionally
+  /// immortal (never destroyed), so metric references held by
+  /// function-local statics stay valid during process teardown.
+  [[nodiscard]] static Registry& global();
+
+  /// Find-or-create; the returned reference lives forever. Re-lookups
+  /// of the same name return the same object, so concurrent components
+  /// share one metric.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// First registration fixes the bucket bounds; later calls with the
+  /// same name return the existing histogram regardless of bounds.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_bounds);
+
+  struct Snapshot {
+    struct Entry {
+      std::string name;
+      std::string kind;  ///< "counter" | "gauge" | "histogram"
+      double value = 0.0;
+      Histogram::Snapshot hist;  ///< histogram entries only
+    };
+    std::vector<Entry> entries;  ///< sorted by name
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero every metric, keeping registrations (and thus outstanding
+  /// references) intact. Tests only.
+  void reset_all();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Category prefix of a dotted metric name ("engine.events_fired" ->
+/// "engine"); the whole name when it has no dot.
+[[nodiscard]] std::string metric_category(const std::string& name);
+
+}  // namespace voprof::obs

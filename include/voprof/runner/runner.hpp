@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "voprof/core/trainer.hpp"
+#include "voprof/obs/metrics.hpp"
+#include "voprof/obs/trace.hpp"
 #include "voprof/util/csv.hpp"
 #include "voprof/util/rng.hpp"
 #include "voprof/util/task_pool.hpp"
@@ -41,11 +43,17 @@ using util::seed_for;
 /// How a sweep executes. jobs = 0 means "all hardware threads".
 struct RunOptions {
   int jobs = 0;
+  /// When non-empty, the obs trace collector is enabled with this
+  /// output path (options_from_cli applies it; same effect as the
+  /// VOPROF_TRACE env knob).
+  std::string trace_path;
 };
 
-/// Parse the runner flags of a bench/tool command line (currently
-/// `--jobs N`). Throws util::ContractViolation on unknown flags or
-/// malformed values, so typos never silently run serial.
+/// Parse the runner flags of a bench/tool command line (`--jobs N`,
+/// `--trace FILE`). Throws util::ContractViolation on unknown flags or
+/// malformed values, so typos never silently run serial. Also checks
+/// VOPROF_TRACE and enables the trace collector when either source
+/// names an output file.
 [[nodiscard]] RunOptions options_from_cli(int argc, const char* const* argv);
 
 /// A TaskPool wrapped with the index-ordered mapping discipline the
@@ -60,17 +68,27 @@ class SweepRunner {
   /// Evaluate fn(i) for i in [0, n); results come back ordered by i.
   template <typename Fn>
   [[nodiscard]] auto map(std::size_t n, Fn&& fn) {
+    VOPROF_WALL_SPAN("runner", "SweepRunner.map");
+    cells_counter().add(n);
     return pool_.parallel_map(n, std::forward<Fn>(fn));
   }
 
   template <typename Fn>
   void for_each(std::size_t n, Fn&& fn) {
+    VOPROF_WALL_SPAN("runner", "SweepRunner.for_each");
+    cells_counter().add(n);
     pool_.parallel_for_each(n, std::forward<Fn>(fn));
   }
 
   [[nodiscard]] util::TaskPool& pool() noexcept { return pool_; }
 
  private:
+  static obs::Counter& cells_counter() {
+    static obs::Counter& c =
+        obs::Registry::global().counter("runner.cells");
+    return c;
+  }
+
   util::TaskPool pool_;
 };
 

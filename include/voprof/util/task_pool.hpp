@@ -49,7 +49,9 @@ class TaskPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
     if (workers_.empty()) {
+      const long long t0 = note_task_begin();
       (*task)();
+      note_task_end(t0, /*inline_task=*/true);
     } else {
       enqueue([task]() { (*task)(); });
     }
@@ -88,12 +90,26 @@ class TaskPool {
   }
 
  private:
+  /// A queued task plus its enqueue timestamp (obs wall clock, us),
+  /// feeding the taskpool.queue_wait_ms histogram.
+  struct Job {
+    std::function<void()> fn;
+    long long enqueued_us = 0;
+  };
+
   void enqueue(std::function<void()> job);
   void worker_loop();
 
+  /// Observability hooks (non-template so the obs headers stay out of
+  /// this header). begin returns the obs wall clock, or 0 when the
+  /// build has observability off; end records duration, task count and
+  /// a "taskpool" span when a trace is being collected.
+  static long long note_task_begin();
+  static void note_task_end(long long begin_us, bool inline_task);
+
   std::size_t jobs_ = 1;
   std::vector<std::thread> workers_;
-  std::vector<std::function<void()>> queue_;  // FIFO via head index
+  std::vector<Job> queue_;  // FIFO via head index
   std::size_t queue_head_ = 0;
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -152,6 +152,10 @@ class PhysicalMachine {
   double throttled_nic_kbits_ = 0.0;
   TraceLog* trace_ = nullptr;
   util::SimMicros last_now_ = 0;
+  // Sim time when the current CPU-contention episode began, or -1 when
+  // the scheduler is currently satisfying everyone. Drives the
+  // "scheduler/contention" sim-clock spans in the obs trace.
+  util::SimMicros contention_begin_ = -1;
 
   // Per-tick scratch buffers, reused across ticks so the steady-state
   // tick makes no allocations. demands_ holds pointers into each

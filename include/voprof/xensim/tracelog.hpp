@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "voprof/util/json.hpp"
 #include "voprof/util/units.hpp"
 
 namespace voprof::sim {
@@ -29,6 +30,15 @@ enum class TraceEventType {
 };
 
 [[nodiscard]] std::string trace_event_name(TraceEventType type);
+
+/// Inverse of trace_event_name; throws util::ContractViolation on an
+/// unknown name (round-trip tested).
+[[nodiscard]] TraceEventType trace_event_from_name(const std::string& name);
+
+/// Obs/Chrome-trace category a ring event belongs to ("vm",
+/// "scheduler", "device" or "migration"), so exported ring events land
+/// in the same per-category tables as native obs spans.
+[[nodiscard]] const char* trace_event_category(TraceEventType type);
 
 struct TraceEvent {
   util::SimMicros time = 0;
@@ -63,11 +73,33 @@ class TraceLog {
   /// Render as "t=12.34s pm0 sched-contention vm1 7.5" lines.
   [[nodiscard]] std::string dump() const;
 
+  /// CSV text of the retained events, oldest first, with header
+  /// `time_us,type,pm_id,subject,value`. Subjects are plain VM-name
+  /// tokens; a comma, quote or newline in one is rejected rather than
+  /// escaped. Inverse: tracelog_events_from_csv.
+  [[nodiscard]] std::string to_csv() const;
+
  private:
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;
   std::size_t total_ = 0;
 };
+
+/// Parse TraceLog::to_csv() text back into events (oldest first).
+/// Throws util::ContractViolation on a malformed header, field count
+/// or event name.
+[[nodiscard]] std::vector<TraceEvent> tracelog_events_from_csv(
+    const std::string& text);
+
+/// JSON array of the retained events, each an object with time_us,
+/// type (name), pm_id, subject and value — the shape `voprofctl trace`
+/// understands inside a trace file's ring export.
+[[nodiscard]] util::Json tracelog_to_json(const TraceLog& log);
+
+/// Re-emit the retained ring events into the global obs trace
+/// collector as sim-clock instants (tid = pm id, category from
+/// trace_event_category). No-op when the collector is disabled.
+void tracelog_export_to_obs(const TraceLog& log);
 
 }  // namespace voprof::sim

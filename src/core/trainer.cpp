@@ -5,6 +5,8 @@
 
 #include "voprof/core/invariants.hpp"
 #include "voprof/monitor/script.hpp"
+#include "voprof/obs/metrics.hpp"
+#include "voprof/obs/trace.hpp"
 #include "voprof/util/assert.hpp"
 #include "voprof/util/task_pool.hpp"
 #include "voprof/xensim/cluster.hpp"
@@ -52,6 +54,10 @@ Trainer::Trainer(TrainerConfig config) : config_(std::move(config)) {
 
 TrainingSet Trainer::collect_run(wl::WorkloadKind kind, std::size_t level,
                                  int n_vms) const {
+  VOPROF_WALL_SPAN("trainer", "collect_run");
+  static obs::Counter& runs =
+      obs::Registry::global().counter("trainer.collect_runs");
+  runs.add();
   VOPROF_REQUIRE(n_vms >= 1);
   // A fresh testbed per cell, like the paper's repeated experiments.
   // Seeds are derived from the cell coordinates for reproducibility.
@@ -82,6 +88,7 @@ TrainingSet Trainer::collect_run(wl::WorkloadKind kind, std::size_t level,
 }
 
 TrainingSet Trainer::collect() const {
+  VOPROF_WALL_SPAN("trainer", "collect");
   // Cells are enumerated in the historical loop order; collect_run
   // seeds each from its coordinates alone, so cells can execute on any
   // worker while the index-ordered append below reproduces the serial
@@ -115,6 +122,7 @@ TrainingSet Trainer::collect() const {
 }
 
 TrainedModels Trainer::train(RegressionMethod method) const {
+  VOPROF_WALL_SPAN("trainer", "train");
   return fit_models(collect(), method, config_.seed);
 }
 

@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "voprof/obs/metrics.hpp"
+#include "voprof/obs/trace.hpp"
 #include "voprof/util/assert.hpp"
 
 namespace voprof::mon {
@@ -188,6 +190,7 @@ void MonitorScript::stop() {
 }
 
 const MeasurementReport& MonitorScript::measure(util::SimMicros duration) {
+  VOPROF_WALL_SPAN("monitor", "measure");
   start();
   engine_.run_for(duration);
   stop();
@@ -195,6 +198,9 @@ const MeasurementReport& MonitorScript::measure(util::SimMicros duration) {
 }
 
 void MonitorScript::take_sample() {
+  static obs::Counter& samples =
+      obs::Registry::global().counter("monitor.samples");
+  samples.add();
   machine_.snapshot_into(engine_.now(), cur_);
   if (cur_.time <= prev_.time) return;  // same-instant double fire: skip
   // Mid-run VM creation/removal would desynchronize the snapshot pair;

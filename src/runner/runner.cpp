@@ -17,9 +17,19 @@ RunOptions options_from_cli(int argc, const char* const* argv) {
   RunOptions opts;
   opts.jobs = args.get_int("jobs", 0);
   VOPROF_REQUIRE_MSG(opts.jobs >= 0, "--jobs must be >= 0");
+  opts.trace_path = args.get_or("trace", "");
   for (const std::string& name : args.flag_names()) {
-    VOPROF_REQUIRE_MSG(name == "jobs",
-                       "unknown flag --" + name + " (runner accepts --jobs N)");
+    VOPROF_REQUIRE_MSG(
+        name == "jobs" || name == "trace",
+        "unknown flag --" + name +
+            " (runner accepts --jobs N and --trace FILE)");
+  }
+  // --trace wins over VOPROF_TRACE; either way the collector flushes
+  // the Chrome-trace file when the program exits.
+  if (!opts.trace_path.empty()) {
+    obs::TraceCollector::global().enable(opts.trace_path);
+  } else {
+    obs::TraceCollector::global().init_from_env();
   }
   return opts;
 }
@@ -68,6 +78,7 @@ std::vector<double> summary_to_row(const CellSummary& c) {
 
 util::CsvDocument run_micro_sweep(const MicroSweepConfig& config,
                                   const RunOptions& opts) {
+  VOPROF_WALL_SPAN("runner", "run_micro_sweep");
   VOPROF_REQUIRE_MSG(!config.vm_counts.empty(), "sweep needs vm_counts");
   VOPROF_REQUIRE_MSG(!config.kinds.empty(), "sweep needs workload kinds");
   VOPROF_REQUIRE_MSG(config.levels >= 1 && config.levels <= wl::kLevelCount,
@@ -135,9 +146,18 @@ const model::TrainedModels& ModelCache::get(model::RegressionMethod method,
                                             util::SimMicros duration,
                                             std::uint64_t seed, int jobs) {
   const Key key{static_cast<int>(method), duration, seed};
+  static obs::Counter& hits =
+      obs::Registry::global().counter("runner.model_cache_hits");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("runner.model_cache_misses");
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    hits.add();
+  }
   if (it == cache_.end()) {
+    misses.add();
+    VOPROF_WALL_SPAN("runner", "ModelCache.train");
     model::TrainerConfig cfg;
     cfg.duration = duration;
     cfg.seed = seed;

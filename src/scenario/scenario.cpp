@@ -4,6 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "voprof/obs/metrics.hpp"
+#include "voprof/obs/trace.hpp"
+#include "voprof/runner/runner.hpp"
 #include "voprof/util/assert.hpp"
 #include "voprof/util/rng.hpp"
 #include "voprof/util/table.hpp"
@@ -119,8 +122,19 @@ ScenarioSpec ScenarioSpec::load(const std::string& path) {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  VOPROF_WALL_SPAN("scenario", "run_scenario");
+  static obs::Counter& runs =
+      obs::Registry::global().counter("scenario.runs");
+  runs.add();
   sim::Engine engine;
   sim::Cluster cluster(engine, sim::CostModel{}, spec.seed);
+  // With a trace being collected, attach the xentrace-style ring to
+  // every machine and re-emit its events onto the sim timeline at the
+  // end of the run.
+  const bool obs_tracing = obs::TraceCollector::global().enabled();
+  if (obs_tracing) {
+    cluster.enable_tracing();
+  }
   for (int i = 0; i < spec.machines; ++i) {
     sim::MachineSpec mspec;
     mspec.scheduler = spec.scheduler;
@@ -172,6 +186,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     monitors[i]->stop();
     result.reports.emplace(monitored[i], monitors[i]->report());
   }
+  if (obs_tracing && cluster.trace_log() != nullptr) {
+    sim::tracelog_export_to_obs(*cluster.trace_log());
+  }
   return result;
 }
 
@@ -182,10 +199,15 @@ ReplicatedScenarioResult run_scenario_replicated(const ScenarioSpec& spec,
                      "run_scenario_replicated needs replications >= 1");
 
   // One independent run per replication, seeded purely from the
-  // replication index so any worker may execute it.
-  util::TaskPool pool(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs));
+  // replication index so any worker may execute it. SweepRunner wraps
+  // the same TaskPool discipline (index-ordered parallel_map) and adds
+  // the "runner" spans/counters, so a traced replicated scenario shows
+  // the fan-out alongside the per-replication sim timelines.
+  runner::RunOptions run_opts;
+  run_opts.jobs = jobs;
+  runner::SweepRunner sweep(run_opts);
   const std::vector<ScenarioResult> runs =
-      pool.parallel_map(replications, [&spec](std::size_t rep) {
+      sweep.map(replications, [&spec](std::size_t rep) {
         ScenarioSpec rep_spec = spec;
         rep_spec.seed = util::seed_for(spec.seed, rep);
         return run_scenario(rep_spec);

@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "voprof/obs/metrics.hpp"
+#include "voprof/obs/trace.hpp"
+
 namespace voprof::util {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Counter& inline_tasks;
+  obs::Counter& busy_us;
+  obs::Histogram& queue_wait_ms;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().counter("taskpool.tasks"),
+        obs::Registry::global().counter("taskpool.tasks_inline"),
+        obs::Registry::global().counter("taskpool.busy_us"),
+        obs::Registry::global().histogram(
+            "taskpool.queue_wait_ms",
+            {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0})};
+    return m;
+  }
+};
+
+}  // namespace
 
 std::size_t TaskPool::default_jobs() noexcept {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -26,17 +51,46 @@ TaskPool::~TaskPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+long long TaskPool::note_task_begin() {
+  if constexpr (!obs::kObsCompiled) {
+    return 0;
+  }
+  return obs::wall_clock_us();
+}
+
+void TaskPool::note_task_end(long long begin_us, bool inline_task) {
+  if constexpr (!obs::kObsCompiled) {
+    (void)begin_us;
+    (void)inline_task;
+    return;
+  }
+  const long long dur_us = obs::wall_clock_us() - begin_us;
+  PoolMetrics::get().tasks.add();
+  if (inline_task) {
+    PoolMetrics::get().inline_tasks.add();
+  }
+  PoolMetrics::get().busy_us.add(
+      static_cast<std::uint64_t>(std::max(0LL, dur_us)));
+  auto& collector = obs::TraceCollector::global();
+  if (collector.enabled()) {
+    const std::int64_t end_rel = collector.wall_now_us();
+    collector.complete_wall("taskpool", inline_task ? "task_inline" : "task",
+                            end_rel - dur_us, dur_us);
+  }
+}
+
 void TaskPool::enqueue(std::function<void()> job) {
+  Job entry{std::move(job), obs::wall_clock_us()};
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(entry));
   }
   cv_.notify_one();
 }
 
 void TaskPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock,
@@ -52,7 +106,13 @@ void TaskPool::worker_loop() {
         queue_head_ = 0;
       }
     }
-    job();  // packaged_task captures any exception into its future
+    const long long t0 = note_task_begin();
+    if constexpr (obs::kObsCompiled) {
+      PoolMetrics::get().queue_wait_ms.observe(
+          static_cast<double>(t0 - job.enqueued_us) / 1000.0);
+    }
+    job.fn();  // packaged_task captures any exception into its future
+    note_task_end(t0, /*inline_task=*/false);
   }
 }
 

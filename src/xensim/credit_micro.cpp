@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <numeric>
 
+#include "voprof/obs/metrics.hpp"
 #include "voprof/util/assert.hpp"
 
 namespace voprof::sim {
+
+namespace {
+
+struct MicroSchedMetrics {
+  obs::Counter& ticks;
+  obs::Counter& contended;
+  obs::Counter& redistributions;
+
+  static MicroSchedMetrics& get() {
+    static MicroSchedMetrics m{
+        obs::Registry::global().counter("credit_micro.ticks"),
+        obs::Registry::global().counter("credit_micro.contended_ticks"),
+        obs::Registry::global().counter("credit_micro.redistributions")};
+    return m;
+  }
+};
+
+}  // namespace
 
 MicroCreditScheduler::MicroCreditScheduler(int cores, double efficiency)
     : cores_(cores), efficiency_(efficiency) {
@@ -21,6 +40,7 @@ double MicroCreditScheduler::credits(std::size_t vcpu) const {
 void MicroCreditScheduler::redistribute(
     const std::vector<SchedRequest>& requests) {
   // One accounting period's pool: cores * period seconds of core time.
+  MicroSchedMetrics::get().redistributions.add();
   const double pool =
       kCreditsPerCoreSecond * kAccountingPeriodS * static_cast<double>(cores_);
   double total_weight = 0.0;
@@ -107,6 +127,11 @@ void MicroCreditScheduler::tick_into(
       result.contended = true;
       break;
     }
+  }
+
+  MicroSchedMetrics::get().ticks.add();
+  if (result.contended) {
+    MicroSchedMetrics::get().contended.add();
   }
 
   since_accounting_s_ += dt;

@@ -3,9 +3,36 @@
 #include <algorithm>
 #include <utility>
 
+#include "voprof/obs/metrics.hpp"
 #include "voprof/util/assert.hpp"
 
 namespace voprof::sim {
+
+namespace {
+
+/// Registry references resolved once; the write paths below are
+/// relaxed atomics (no-ops entirely when VOPROF_OBS is off).
+/// engine.events_stale / engine.events_fired is the lazy-deletion
+/// ratio: how many heap pops were cancelled corpses vs. real firings.
+struct EngineMetrics {
+  obs::Counter& fired;
+  obs::Counter& stale;
+  obs::Counter& cancelled;
+  obs::Counter& ticks;
+  obs::Gauge& heap_depth_max;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m{
+        obs::Registry::global().counter("engine.events_fired"),
+        obs::Registry::global().counter("engine.events_stale"),
+        obs::Registry::global().counter("engine.events_cancelled"),
+        obs::Registry::global().counter("engine.ticks"),
+        obs::Registry::global().gauge("engine.heap_depth_max")};
+    return m;
+  }
+};
+
+}  // namespace
 
 Engine::Engine(util::SimMicros tick_period) : tick_period_(tick_period) {
   VOPROF_REQUIRE_MSG(tick_period > 0, "tick period must be positive");
@@ -27,6 +54,8 @@ TimerId Engine::push_event(util::SimMicros at, util::SimMicros period,
   heap_.push_back(Event{at, next_seq_++, id, period, std::move(fn)});
   sift_up(heap_.size() - 1);
   live_.insert(id);
+  EngineMetrics::get().heap_depth_max.set_max(
+      static_cast<double>(heap_.size()));
   return id;
 }
 
@@ -50,7 +79,11 @@ TimerId Engine::schedule_every(util::SimMicros period,
 bool Engine::cancel(TimerId id) {
   // Lazy deletion: drop the id from the live set; the heap entry is
   // skipped (and its callback destroyed) when it reaches the top.
-  return live_.erase(id) > 0;
+  const bool erased = live_.erase(id) > 0;
+  if (erased) {
+    EngineMetrics::get().cancelled.add();
+  }
+  return erased;
 }
 
 void Engine::sift_up(std::size_t i) {
@@ -90,7 +123,11 @@ void Engine::fire_due_events(util::SimMicros up_to_inclusive) {
     // invalidating heap references.
     Event ev = pop_min();
     const auto it = live_.find(ev.id);
-    if (it == live_.end()) continue;  // lazily deleted
+    if (it == live_.end()) {  // lazily deleted
+      EngineMetrics::get().stale.add();
+      continue;
+    }
+    EngineMetrics::get().fired.add();
     // A firing one-shot is no longer pending; a periodic stays live so
     // its callback can cancel() it.
     if (ev.period == 0) live_.erase(it);
@@ -119,6 +156,7 @@ void Engine::run_until(util::SimMicros until) {
     now_ = tick_end;
     const double dt = util::to_seconds(tick_end - tick_start);
     if (dt > 0.0) {
+      EngineMetrics::get().ticks.add();
       for (TickListener* l : listeners_) l->tick(now_, dt);
     }
   }

@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "voprof/obs/metrics.hpp"
+#include "voprof/obs/trace.hpp"
 #include "voprof/util/assert.hpp"
 
 namespace voprof::sim {
+
+namespace {
+
+struct MachineMetrics {
+  obs::Counter& ticks;
+  obs::Counter& contention_episodes;
+  obs::Counter& disk_throttle_ticks;
+  obs::Counter& nic_throttle_ticks;
+
+  static MachineMetrics& get() {
+    static MachineMetrics m{
+        obs::Registry::global().counter("machine.ticks"),
+        obs::Registry::global().counter("machine.contention_episodes"),
+        obs::Registry::global().counter("machine.disk_throttle_ticks"),
+        obs::Registry::global().counter("machine.nic_throttle_ticks")};
+    return m;
+  }
+};
+
+}  // namespace
 
 PhysicalMachine::PhysicalMachine(int id, MachineSpec spec, CostModel costs,
                                  util::Rng rng)
@@ -133,6 +155,7 @@ double PhysicalMachine::hyp_sched_response() const noexcept {
 
 void PhysicalMachine::tick(util::SimMicros now, double dt) {
   VOPROF_REQUIRE(dt > 0.0);
+  MachineMetrics::get().ticks.add();
   last_now_ = now;
   const bool multi = guests_.size() >= 2;
 
@@ -185,6 +208,20 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
         {now, TraceEventType::kSchedContention, id_, "", unmet});
   }
 
+  // Contention episodes as sim-clock spans: open when the scheduler
+  // first fails to satisfy aggregate demand, close on the first
+  // satisfied tick. An episode still open at the end of a run is
+  // dropped (the trace has the per-tick ring events regardless).
+  if (sched.contended && contention_begin_ < 0) {
+    contention_begin_ = now;
+  } else if (!sched.contended && contention_begin_ >= 0) {
+    MachineMetrics::get().contention_episodes.add();
+    obs::TraceCollector::global().complete_sim(
+        "scheduler", "contention", contention_begin_, now - contention_begin_,
+        static_cast<std::uint64_t>(id_));
+    contention_begin_ = -1;
+  }
+
   // ---- 4a. First pass: CPU grants and activity generation. ------------
   blocks_wanted_.assign(guests_.size(), 0.0);
   std::vector<double>& blocks_wanted = blocks_wanted_;
@@ -223,6 +260,9 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
         std::max(0.0, disk_budget - base_io) / amplification;
     disk_scale = std::min(1.0, usable / blocks_wanted_total);
     throttled_disk_blocks_ += blocks_wanted_total * (1.0 - disk_scale);
+    if (disk_scale < 1.0) {
+      MachineMetrics::get().disk_throttle_ticks.add();
+    }
     if (trace_ != nullptr && disk_scale < 1.0) {
       trace_->record({now, TraceEventType::kDiskThrottled, id_, "",
                       blocks_wanted_total * (1.0 - disk_scale)});
@@ -285,6 +325,9 @@ void PhysicalMachine::tick(util::SimMicros now, double dt) {
                           (1.0 + bw_overhead_frac);
     nic_scale = std::min(1.0, usable / outbound_kbits);
     throttled_nic_kbits_ += outbound_kbits * (1.0 - nic_scale);
+    if (nic_scale < 1.0) {
+      MachineMetrics::get().nic_throttle_ticks.add();
+    }
     if (trace_ != nullptr && nic_scale < 1.0) {
       trace_->record({now, TraceEventType::kNicThrottled, id_, "",
                       outbound_kbits * (1.0 - nic_scale)});

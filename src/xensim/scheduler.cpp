@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <numeric>
 
+#include "voprof/obs/metrics.hpp"
 #include "voprof/util/assert.hpp"
 
 namespace voprof::sim {
+
+namespace {
+
+struct SchedMetrics {
+  obs::Counter& allocations;
+  obs::Counter& contended;
+
+  static SchedMetrics& get() {
+    static SchedMetrics m{
+        obs::Registry::global().counter("scheduler.allocations"),
+        obs::Registry::global().counter("scheduler.contended_allocations")};
+    return m;
+  }
+};
+
+}  // namespace
 
 CreditScheduler::CreditScheduler(double capacity_pct,
                                  double multi_vm_efficiency)
@@ -87,6 +104,11 @@ void CreditScheduler::allocate_into(const std::vector<SchedRequest>& requests,
       result.contended = true;
       break;
     }
+  }
+
+  SchedMetrics::get().allocations.add();
+  if (result.contended) {
+    SchedMetrics::get().contended.add();
   }
 }
 

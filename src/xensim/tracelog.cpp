@@ -1,8 +1,11 @@
 #include "voprof/xensim/tracelog.hpp"
 
+#include <array>
 #include <sstream>
 
+#include "voprof/obs/trace.hpp"
 #include "voprof/util/assert.hpp"
+#include "voprof/util/numeric.hpp"
 
 namespace voprof::sim {
 
@@ -24,6 +27,41 @@ std::string trace_event_name(TraceEventType type) {
       return "migration-finished";
     case TraceEventType::kMigrationFailed:
       return "migration-failed";
+  }
+  throw util::ContractViolation("unknown trace event type");
+}
+
+namespace {
+
+constexpr std::array<TraceEventType, 8> kAllEventTypes = {
+    TraceEventType::kVmCreated,        TraceEventType::kVmRemoved,
+    TraceEventType::kSchedContention,  TraceEventType::kDiskThrottled,
+    TraceEventType::kNicThrottled,     TraceEventType::kMigrationStarted,
+    TraceEventType::kMigrationFinished, TraceEventType::kMigrationFailed};
+
+}  // namespace
+
+TraceEventType trace_event_from_name(const std::string& name) {
+  for (TraceEventType type : kAllEventTypes) {
+    if (trace_event_name(type) == name) return type;
+  }
+  throw util::ContractViolation("unknown trace event name: " + name);
+}
+
+const char* trace_event_category(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kVmCreated:
+    case TraceEventType::kVmRemoved:
+      return "vm";
+    case TraceEventType::kSchedContention:
+      return "scheduler";
+    case TraceEventType::kDiskThrottled:
+    case TraceEventType::kNicThrottled:
+      return "device";
+    case TraceEventType::kMigrationStarted:
+    case TraceEventType::kMigrationFinished:
+    case TraceEventType::kMigrationFailed:
+      return "migration";
   }
   throw util::ContractViolation("unknown trace event type");
 }
@@ -84,6 +122,99 @@ std::string TraceLog::dump() const {
     os << ' ' << e.value << '\n';
   }
   return os.str();
+}
+
+std::string TraceLog::to_csv() const {
+  std::string out = "time_us,type,pm_id,subject,value\n";
+  for (const TraceEvent& e : events()) {
+    VOPROF_REQUIRE_MSG(
+        e.subject.find_first_of(",\"\n") == std::string::npos,
+        "trace event subject not CSV-safe: " + e.subject);
+    out += std::to_string(e.time);
+    out += ',';
+    out += trace_event_name(e.type);
+    out += ',';
+    out += std::to_string(e.pm_id);
+    out += ',';
+    out += e.subject;
+    out += ',';
+    out += util::format_double(e.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TraceEvent> tracelog_events_from_csv(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  VOPROF_REQUIRE_MSG(std::getline(is, line) &&
+                         line == "time_us,type,pm_id,subject,value",
+                     "tracelog CSV: bad or missing header");
+  std::vector<TraceEvent> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::array<std::string, 5> fields;
+    std::size_t field = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        VOPROF_REQUIRE_MSG(field < fields.size(),
+                           "tracelog CSV: too many fields: " + line);
+        fields[field++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    VOPROF_REQUIRE_MSG(field == fields.size(),
+                       "tracelog CSV: expected 5 fields: " + line);
+    TraceEvent e;
+    double time_us = 0.0;
+    VOPROF_REQUIRE_MSG(util::parse_double(fields[0], time_us),
+                       "tracelog CSV: bad time_us: " + fields[0]);
+    e.time = static_cast<util::SimMicros>(time_us);
+    e.type = trace_event_from_name(fields[1]);
+    double pm_id = 0.0;
+    VOPROF_REQUIRE_MSG(util::parse_double(fields[2], pm_id),
+                       "tracelog CSV: bad pm_id: " + fields[2]);
+    e.pm_id = static_cast<int>(pm_id);
+    e.subject = fields[3];
+    VOPROF_REQUIRE_MSG(util::parse_double(fields[4], e.value),
+                       "tracelog CSV: bad value: " + fields[4]);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+util::Json tracelog_to_json(const TraceLog& log) {
+  util::Json arr = util::Json::array();
+  for (const TraceEvent& e : log.events()) {
+    util::Json obj = util::Json::object();
+    obj.set("time_us", static_cast<double>(e.time));
+    obj.set("type", trace_event_name(e.type));
+    obj.set("pm_id", e.pm_id);
+    obj.set("subject", e.subject);
+    obj.set("value", e.value);
+    arr.push_back(std::move(obj));
+  }
+  return arr;
+}
+
+void tracelog_export_to_obs(const TraceLog& log) {
+  auto& collector = obs::TraceCollector::global();
+  if (!collector.enabled()) return;
+  for (const TraceEvent& e : log.events()) {
+    obs::TraceRecord rec;
+    rec.ph = 'i';
+    rec.clock = obs::Clock::kSim;
+    rec.cat = trace_event_category(e.type);
+    rec.name = trace_event_name(e.type);
+    rec.ts_us = e.time;
+    rec.tid = e.pm_id >= 0 ? static_cast<std::uint64_t>(e.pm_id) : 0;
+    rec.args.emplace_back("value", e.value);
+    if (!e.subject.empty()) {
+      rec.sargs.emplace_back("subject", e.subject);
+    }
+    collector.record(std::move(rec));
+  }
 }
 
 }  // namespace voprof::sim

@@ -1,0 +1,6 @@
+// Fixture: direct steady_clock read in library code (raw-steady-clock).
+#include <chrono>
+
+long long bad_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -148,6 +148,38 @@ TEST(Rules, StaticThreadQueriesNotFlagged) {
   EXPECT_EQ(count_rule(findings, "raw-thread"), 0U);
 }
 
+TEST(Rules, SteadyClockFlaggedOutsideBenchObsTests) {
+  const std::string body =
+      "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(count_rule(lint_file_content("src/core/x.cpp", body),
+                       "raw-steady-clock"),
+            1U);
+  EXPECT_EQ(count_rule(lint_file_content("tools/x.cpp", body),
+                       "raw-steady-clock"),
+            1U);
+  // bench/, the obs implementation and tests are the sanctioned homes.
+  EXPECT_EQ(count_rule(lint_file_content("bench/x.cpp", body),
+                       "raw-steady-clock"),
+            0U);
+  EXPECT_EQ(count_rule(lint_file_content("src/obs/trace.cpp", body),
+                       "raw-steady-clock"),
+            0U);
+  EXPECT_EQ(count_rule(lint_file_content("include/voprof/obs/trace.hpp",
+                                         "#pragma once\n" + body),
+                       "raw-steady-clock"),
+            0U);
+  EXPECT_EQ(count_rule(lint_file_content("tests/test_x.cpp", body),
+                       "raw-steady-clock"),
+            0U);
+  // Other clocks and mere mentions of the type do not fire.
+  EXPECT_EQ(count_rule(lint_file_content(
+                           "src/core/x.cpp",
+                           "auto t = std::chrono::system_clock::now();\n"
+                           "using clock = std::chrono::steady_clock;\n"),
+                       "raw-steady-clock"),
+            0U);
+}
+
 TEST(Rules, MemberRandNotFlagged) {
   const auto findings = lint_file_content(
       "src/util/x.cpp", "int r = rng.rand();\nint q = gen->rand();\n");
@@ -195,6 +227,7 @@ TEST(Fixtures, TreeFailsWithEveryExpectedRule) {
   EXPECT_EQ(count_rule(report.findings, "header-guard"), 1U);
   EXPECT_EQ(count_rule(report.findings, "raw-rand"), 2U);
   EXPECT_EQ(count_rule(report.findings, "raw-thread"), 1U);
+  EXPECT_EQ(count_rule(report.findings, "raw-steady-clock"), 1U);
   for (const Finding& f : report.findings) {
     EXPECT_EQ(f.file.find("good_"), std::string::npos) << f.format();
     EXPECT_EQ(f.file.find("clean_"), std::string::npos) << f.format();

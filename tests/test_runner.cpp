@@ -12,6 +12,12 @@
 namespace voprof::runner {
 namespace {
 
+RunOptions jobs_opts(int jobs) {
+  RunOptions opts;
+  opts.jobs = jobs;
+  return opts;
+}
+
 TEST(SeedFor, IsPureAndIndexSensitive) {
   EXPECT_EQ(util::seed_for(42, 0), util::seed_for(42, 0));
   EXPECT_NE(util::seed_for(42, 0), util::seed_for(42, 1));
@@ -68,14 +74,14 @@ MicroSweepConfig small_sweep() {
 
 TEST(MicroSweep, ByteIdenticalAcrossJobCounts) {
   const MicroSweepConfig config = small_sweep();
-  const std::string serial = run_micro_sweep(config, RunOptions{1}).str();
-  EXPECT_EQ(serial, run_micro_sweep(config, RunOptions{2}).str());
-  EXPECT_EQ(serial, run_micro_sweep(config, RunOptions{8}).str());
+  const std::string serial = run_micro_sweep(config, jobs_opts(1)).str();
+  EXPECT_EQ(serial, run_micro_sweep(config, jobs_opts(2)).str());
+  EXPECT_EQ(serial, run_micro_sweep(config, jobs_opts(8)).str());
 }
 
 TEST(MicroSweep, EmitsOneRowPerCellPlusSummary) {
   const MicroSweepConfig config = small_sweep();
-  const util::CsvDocument doc = run_micro_sweep(config, RunOptions{1});
+  const util::CsvDocument doc = run_micro_sweep(config, jobs_opts(1));
   // 2 vm_counts x 2 kinds x 2 levels + summary row.
   EXPECT_EQ(doc.row_count(), 9u);
   EXPECT_EQ(doc.at(8, "kind"), -1.0);
@@ -87,9 +93,9 @@ TEST(MicroSweep, EmitsOneRowPerCellPlusSummary) {
 
 TEST(MicroSweep, BaseSeedChangesTheData) {
   MicroSweepConfig config = small_sweep();
-  const std::string a = run_micro_sweep(config, RunOptions{2}).str();
+  const std::string a = run_micro_sweep(config, jobs_opts(2)).str();
   config.base_seed = 43;
-  EXPECT_NE(a, run_micro_sweep(config, RunOptions{2}).str());
+  EXPECT_NE(a, run_micro_sweep(config, jobs_opts(2)).str());
 }
 
 TEST(ModelCache, TrainsOncePerKey) {

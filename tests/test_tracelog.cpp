@@ -17,6 +17,78 @@ TraceEvent ev(double t, TraceEventType type, double value = 0.0) {
   return TraceEvent{seconds(t), type, 0, "", value};
 }
 
+TEST(TraceEventNames, RoundTripAllTypes) {
+  for (TraceEventType type :
+       {TraceEventType::kVmCreated, TraceEventType::kVmRemoved,
+        TraceEventType::kSchedContention, TraceEventType::kDiskThrottled,
+        TraceEventType::kNicThrottled, TraceEventType::kMigrationStarted,
+        TraceEventType::kMigrationFinished, TraceEventType::kMigrationFailed}) {
+    EXPECT_EQ(trace_event_from_name(trace_event_name(type)), type);
+    EXPECT_STRNE(trace_event_category(type), "");
+  }
+  EXPECT_THROW((void)trace_event_from_name("no-such-event"),
+               util::ContractViolation);
+}
+
+TEST(TraceEventNames, CategoriesMatchObsTaxonomy) {
+  EXPECT_STREQ(trace_event_category(TraceEventType::kVmCreated), "vm");
+  EXPECT_STREQ(trace_event_category(TraceEventType::kSchedContention),
+               "scheduler");
+  EXPECT_STREQ(trace_event_category(TraceEventType::kDiskThrottled),
+               "device");
+  EXPECT_STREQ(trace_event_category(TraceEventType::kMigrationFailed),
+               "migration");
+}
+
+TEST(TraceLogCsv, RoundTripsEvents) {
+  TraceLog log(8);
+  log.record(TraceEvent{seconds(1.5), TraceEventType::kSchedContention, 2,
+                        "vm1", 7.25});
+  log.record(TraceEvent{seconds(2.0), TraceEventType::kMigrationStarted, 0,
+                        "", 0.0});
+  const std::string csv = log.to_csv();
+  EXPECT_EQ(csv.rfind("time_us,type,pm_id,subject,value\n", 0), 0u);
+  const auto events = tracelog_events_from_csv(csv);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, seconds(1.5));
+  EXPECT_EQ(events[0].type, TraceEventType::kSchedContention);
+  EXPECT_EQ(events[0].pm_id, 2);
+  EXPECT_EQ(events[0].subject, "vm1");
+  EXPECT_DOUBLE_EQ(events[0].value, 7.25);
+  EXPECT_EQ(events[1].type, TraceEventType::kMigrationStarted);
+  EXPECT_EQ(events[1].subject, "");
+}
+
+TEST(TraceLogCsv, RejectsUnsafeSubjectAndMalformedText) {
+  TraceLog log(4);
+  log.record(TraceEvent{0, TraceEventType::kVmCreated, 0, "a,b", 0.0});
+  EXPECT_THROW((void)log.to_csv(), util::ContractViolation);
+  EXPECT_THROW((void)tracelog_events_from_csv("wrong,header\n"),
+               util::ContractViolation);
+  EXPECT_THROW((void)tracelog_events_from_csv(
+                   "time_us,type,pm_id,subject,value\n1,bogus-type,0,,0\n"),
+               util::ContractViolation);
+  EXPECT_THROW((void)tracelog_events_from_csv(
+                   "time_us,type,pm_id,subject,value\n1,vm-created,0\n"),
+               util::ContractViolation);
+}
+
+TEST(TraceLogJson, ExportsRetainedEvents) {
+  TraceLog log(4);
+  log.record(TraceEvent{seconds(3.0), TraceEventType::kNicThrottled, 1,
+                        "vm2", 128.0});
+  const util::Json arr = tracelog_to_json(log);
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.as_array().size(), 1u);
+  const util::Json& e = arr.as_array()[0];
+  EXPECT_DOUBLE_EQ(e.at("time_us").as_number(),
+                   static_cast<double>(seconds(3.0)));
+  EXPECT_EQ(e.at("type").as_string(), "nic-throttled");
+  EXPECT_DOUBLE_EQ(e.at("pm_id").as_number(), 1.0);
+  EXPECT_EQ(e.at("subject").as_string(), "vm2");
+  EXPECT_DOUBLE_EQ(e.at("value").as_number(), 128.0);
+}
+
 TEST(TraceLog, RecordsInOrder) {
   TraceLog log(8);
   log.record(ev(1.0, TraceEventType::kVmCreated));

@@ -35,6 +35,17 @@ bool is_task_pool_code(const std::string& relpath) {
   return relpath.find("util/task_pool") != std::string::npos;
 }
 
+bool is_bench_code(const std::string& relpath) {
+  return starts_with(relpath, "bench/") ||
+         relpath.find("/bench/") != std::string::npos;
+}
+
+bool is_obs_code(const std::string& relpath) {
+  return starts_with(relpath, "src/obs/") ||
+         starts_with(relpath, "include/voprof/obs/") ||
+         relpath.find("/obs/") != std::string::npos;
+}
+
 bool is_header(const std::string& relpath) {
   return relpath.ends_with(".hpp") || relpath.ends_with(".h") ||
          relpath.ends_with(".hh");
@@ -90,6 +101,15 @@ const std::regex& thread_re() {
   // does not spawn anything. `std::this_thread` never matches: after
   // `std::` the literal `j?thread` cannot match `this_thread`.
   static const std::regex re(R"(std\s*::\s*j?thread\b(?!\s*::))");
+  return re;
+}
+
+const std::regex& steady_clock_re() {
+  // Any direct steady_clock::now() read, qualified or via
+  // `using namespace std::chrono`. system_clock is untouched: the rule
+  // is about ad-hoc interval timing, which must go through
+  // voprof::obs (wall_clock_us / WallSpan) so traces see it.
+  static const std::regex re(R"(steady_clock\s*::\s*now\s*\()");
   return re;
 }
 
@@ -294,6 +314,13 @@ std::vector<Finding> lint_file_content(const std::string& relpath,
     scan_lines(lines, thread_re(), relpath, "raw-thread",
                "use voprof::util::TaskPool instead of raw std::thread so "
                "parallel sweeps stay deterministic",
+               &out);
+  }
+  if (!is_test_code(relpath) && !is_bench_code(relpath) &&
+      !is_obs_code(relpath)) {
+    scan_lines(lines, steady_clock_re(), relpath, "raw-steady-clock",
+               "time through voprof::obs (wall_clock_us / VOPROF_WALL_SPAN) "
+               "instead of steady_clock::now() so traces observe the interval",
                &out);
   }
   return out;

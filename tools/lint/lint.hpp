@@ -22,6 +22,10 @@
 ///                    voprof::util::TaskPool so sweeps stay
 ///                    deterministic (static members such as
 ///                    std::thread::hardware_concurrency are fine)
+///   raw-steady-clock no steady_clock::now() outside bench/, obs/ and
+///                    tests — interval timing goes through voprof::obs
+///                    (wall_clock_us / VOPROF_WALL_SPAN) so an enabled
+///                    trace observes it
 ///
 /// Comments and string literals are masked out before matching, so a
 /// `// rand()` comment or an "assert(" inside a string never fires.

@@ -28,9 +28,15 @@
 ///       accuracy against the measured PMs.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_diff.hpp"
+#include "harness.hpp"
+#include "trace_cmd.hpp"
+#include "voprof/obs/trace.hpp"
+#include "voprof/util/assert.hpp"
 #include "voprof/scenario/scenario.hpp"
 #include "voprof/util/cli.hpp"
 #include "voprof/voprof.hpp"
@@ -64,11 +70,21 @@ int usage() {
       "  simulate      run a declarative scenario (INI) and print the\n"
       "                  measured utilizations\n"
       "                  --scenario FILE [--csv OUT.csv]\n"
+      "                  [--replications N] [--jobs N]\n"
+      "                  [--trace-out TRACE.json]\n"
       "  bench-diff    compare two BENCH_*.json perf records\n"
       "                  --baseline FILE --current FILE\n"
       "                  [--threshold FRAC] [--report-improvement]\n"
       "                  exit 0 = ok, 1 = regression, 2 = bad input,\n"
-      "                  4 = improvement (with --report-improvement)\n";
+      "                  4 = improvement (with --report-improvement)\n"
+      "  trace         digest an exported observability trace\n"
+      "                  trace summary FILE   per-category time table\n"
+      "                  trace top FILE [--limit N]\n"
+      "                                       busiest spans by total time\n"
+      "                  trace export FILE [--out OUT.csv]\n"
+      "                                       per-span aggregates as CSV\n"
+      "  version       print the build identity (compiler, flags,\n"
+      "                  git describe, observability state)\n";
   return 2;
 }
 
@@ -207,20 +223,93 @@ int cmd_inspect(const util::CliArgs& args) {
 }
 
 int cmd_simulate(const util::CliArgs& args) {
+  // `fit`/`inspect` already claim --trace for observation CSVs, so the
+  // observability trace output is --trace-out here (VOPROF_TRACE also
+  // works, as everywhere).
+  auto& collector = obs::TraceCollector::global();
+  if (args.has("trace-out")) {
+    collector.enable(args.get("trace-out"));
+  } else {
+    collector.init_from_env();
+  }
+
   const scenario::ScenarioSpec spec =
       scenario::ScenarioSpec::load(args.get("scenario"));
+  const int replications = args.get_int("replications", 1);
   std::cout << "running scenario: " << spec.machines << " machine(s), "
             << spec.vms.size() << " VM(s), "
             << util::fmt(spec.duration_s, 0) << " s\n\n";
-  const scenario::ScenarioResult result = scenario::run_scenario(spec);
-  std::cout << result.summary();
-  if (args.has("csv")) {
-    // Export the first monitored machine's full series.
-    const auto& [machine, report] = *result.reports.begin();
-    mon::report_to_csv(report).save(args.get("csv"));
-    std::cout << "wrote machine " << machine << " series to "
-              << args.get("csv") << '\n';
+  if (replications > 1) {
+    const scenario::ReplicatedScenarioResult result =
+        scenario::run_scenario_replicated(
+            spec, static_cast<std::size_t>(replications),
+            args.get_int("jobs", 1));
+    std::cout << result.summary();
+  } else {
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    std::cout << result.summary();
+    if (args.has("csv")) {
+      // Export the first monitored machine's full series.
+      const auto& [machine, report] = *result.reports.begin();
+      mon::report_to_csv(report).save(args.get("csv"));
+      std::cout << "wrote machine " << machine << " series to "
+                << args.get("csv") << '\n';
+    }
   }
+
+  if (collector.enabled()) {
+    const std::string path = collector.path();
+    const std::size_t events = collector.size();
+    if (collector.write_file()) {
+      std::cout << "wrote trace (" << events << " events) to " << path
+                << '\n';
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(const std::string& sub, const util::CliArgs& args) {
+  // The trace file rides in args.command() — main() peeled off the
+  // subcommand word before parsing.
+  const std::string& file = args.command();
+  if (file.empty()) return usage();
+  const tools::TraceSummary summary = tools::summarize_trace_file(file);
+  if (sub == "summary") {
+    std::cout << tools::format_trace_summary(summary);
+    return 0;
+  }
+  if (sub == "top") {
+    std::cout << tools::format_trace_top(summary, args.get_int("limit", 10));
+    return 0;
+  }
+  if (sub == "export") {
+    const std::string csv = tools::trace_spans_csv(summary);
+    if (args.has("out")) {
+      std::ofstream out(args.get("out"));
+      VOPROF_REQUIRE_MSG(out.good(), "cannot write " + args.get("out"));
+      out << csv;
+      std::cout << "wrote " << summary.spans.size() << " span rows to "
+                << args.get("out") << '\n';
+    } else {
+      std::cout << csv;
+    }
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_version() {
+  const bench::harness::EnvInfo env = bench::harness::capture_env();
+  std::cout << "voprofctl (voprof " << env.git_describe << ")\n"
+            << "  compiler:      " << env.compiler << '\n'
+            << "  build type:    " << env.build_type << '\n'
+            << "  cxx flags:     " << env.cxx_flags << '\n'
+            << "  sanitizers:    "
+            << (env.sanitizers.empty() ? "none" : env.sanitizers) << '\n'
+            << "  observability: "
+            << (obs::kObsCompiled ? "compiled in" : "compiled out") << '\n'
+            << "  os/threads:    " << env.os << '/' << env.hardware_threads
+            << '\n';
   return 0;
 }
 
@@ -285,9 +374,17 @@ int cmd_bench_diff(const util::CliArgs& args) {
 
 int main(int argc, char** argv) {
   try {
+    // `trace` takes a subcommand word plus a positional file, which
+    // CliArgs (exactly one positional) can't express: peel the two
+    // leading words off first, so the file path becomes the command.
+    if (argc >= 2 && std::string(argv[1]) == "trace") {
+      if (argc < 3) return usage();
+      return cmd_trace(argv[2], util::CliArgs::parse(argc - 2, argv + 2));
+    }
     const util::CliArgs args =
         util::CliArgs::parse(argc, argv, {"report-improvement"});
     const std::string& cmd = args.command();
+    if (cmd == "version") return cmd_version();
     if (cmd == "train") return cmd_train(args);
     if (cmd == "export-trace") return cmd_export_trace(args);
     if (cmd == "fit") return cmd_fit(args);
