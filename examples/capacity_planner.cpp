@@ -13,7 +13,12 @@
 #include <iostream>
 #include <memory>
 
+#include "voprof/placement/placer.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
 
 namespace {
 

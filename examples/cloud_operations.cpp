@@ -13,7 +13,13 @@
 #include <iostream>
 #include <memory>
 
+#include "voprof/placement/hotspot.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/trace.hpp"
+#include "voprof/xensim/cluster.hpp"
+#include "voprof/xensim/tracelog.hpp"
 
 int main(int argc, char** argv) {
   using namespace voprof;

@@ -13,7 +13,13 @@
 #include <iostream>
 #include <memory>
 
+#include "voprof/placement/hotspot.hpp"
+#include "voprof/rubis/deployment.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
 
 int main() {
   using namespace voprof;

@@ -11,7 +11,13 @@
 #include <iostream>
 #include <memory>
 
+#include "voprof/monitor/script.hpp"
+#include "voprof/monitor/tools.hpp"
+#include "voprof/util/csv.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
 
 int main(int argc, char** argv) {
   using namespace voprof;

@@ -9,7 +9,11 @@
 
 #include <iostream>
 
+#include "voprof/placement/placer.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/xensim/spec.hpp"
 #include "voprof/placement/placer.hpp"
 
 int main() {

@@ -11,7 +11,12 @@
 #include <iostream>
 #include <memory>
 
+#include "voprof/monitor/script.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/levels.hpp"
+#include "voprof/xensim/cluster.hpp"
 
 namespace {
 

@@ -12,7 +12,12 @@
 #include <iostream>
 #include <string>
 
+#include "voprof/monitor/script.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/xensim/cluster.hpp"
 
 int main(int argc, char** argv) {
   using namespace voprof;

@@ -13,7 +13,12 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "voprof/monitor/script.hpp"
+#include "voprof/rubis/deployment.hpp"
+#include "voprof/util/table.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/xensim/cluster.hpp"
 #include "voprof/rubis/deployment.hpp"
 
 int main(int argc, char** argv) {

@@ -14,6 +14,7 @@
 #include "voprof/core/overhead_model.hpp"
 #include "voprof/core/trainer.hpp"
 #include "voprof/util/csv.hpp"
+#include "voprof/util/result.hpp"
 
 namespace voprof::model {
 
@@ -29,9 +30,18 @@ namespace voprof::model {
 void save_models(const TrainedModels& models, std::ostream& os);
 [[nodiscard]] std::string models_to_string(const TrainedModels& models);
 
-/// Deserialize; throws ContractViolation on malformed/unsupported
-/// input. The TrainingSet inside the returned TrainedModels is empty
-/// (only coefficients are persisted).
+/// Primary, non-throwing deserialization. Errors carry Errc::kParse
+/// (malformed records), Errc::kUnsupported (unknown format version) or
+/// Errc::kIo (unreadable file). The TrainingSet inside the returned
+/// TrainedModels is empty (only coefficients are persisted).
+[[nodiscard]] util::Result<TrainedModels> load_models_result(
+    std::istream& is);
+[[nodiscard]] util::Result<TrainedModels> models_from_string_result(
+    const std::string& text);
+[[nodiscard]] util::Result<TrainedModels> load_models_file_result(
+    const std::string& path);
+
+/// Throwing shims over the *_result API (throw ContractViolation).
 [[nodiscard]] TrainedModels load_models(std::istream& is);
 [[nodiscard]] TrainedModels models_from_string(const std::string& text);
 

@@ -38,6 +38,12 @@ namespace voprof::obs {
 /// the build has observability compiled out.
 [[nodiscard]] std::int64_t wall_clock_us() noexcept;
 
+/// Monotonic microseconds that work in EVERY build, including
+/// -DVOPROF_OBS=OFF (unlike wall_clock_us, which folds to 0 there).
+/// For *functional* time — request deadlines, socket timeouts — where
+/// "observability off" must not mean "time stands still".
+[[nodiscard]] std::int64_t monotonic_us() noexcept;
+
 /// Which timeline an event belongs to (see file comment).
 enum class Clock { kWall, kSim };
 

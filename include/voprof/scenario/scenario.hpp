@@ -27,6 +27,7 @@
 /// warmup = 5
 /// ```
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -64,8 +65,17 @@ struct ScenarioSpec {
   std::vector<VmEntry> vms;
   std::vector<int> monitored_machines;
 
-  /// Parse + validate from INI text; throws ContractViolation with a
-  /// line/section message on any problem.
+  /// Primary, non-throwing API: parse + validate from INI text.
+  /// Parse errors carry Errc::kParse with a line context; semantic
+  /// problems (duplicate VM names, out-of-range machine indices,
+  /// non-positive durations...) carry Errc::kValidation with the
+  /// offending section as context.
+  [[nodiscard]] static util::Result<ScenarioSpec> parse_result(
+      const std::string& text);
+  [[nodiscard]] static util::Result<ScenarioSpec> load_result(
+      const std::string& path);
+
+  /// Throwing shims over the *_result API (throw ContractViolation).
   [[nodiscard]] static ScenarioSpec parse(const std::string& text);
   [[nodiscard]] static ScenarioSpec load(const std::string& path);
 };
@@ -105,5 +115,15 @@ struct ReplicatedScenarioResult {
 /// replications >= 1.
 [[nodiscard]] ReplicatedScenarioResult run_scenario_replicated(
     const ScenarioSpec& spec, std::size_t replications, int jobs = 1);
+
+/// Cancellable variant: `keep_going` is polled before each replication
+/// starts (the cooperative-cancellation checkpoint voprofd uses for
+/// request deadlines). Once it returns false the remaining
+/// replications are skipped; the result then aggregates only the runs
+/// that completed, with `replications` reporting that smaller count.
+/// A replication already running is never interrupted mid-simulation.
+[[nodiscard]] ReplicatedScenarioResult run_scenario_replicated(
+    const ScenarioSpec& spec, std::size_t replications, int jobs,
+    const std::function<bool()>& keep_going);
 
 }  // namespace voprof::scenario

@@ -1,0 +1,85 @@
+#pragma once
+/// \file socket.hpp
+/// Thin Unix-domain stream-socket layer under voprofd: an RAII fd,
+/// listen/connect helpers that report failures as util::Result (errno
+/// folded into the message), and a small blocking NDJSON client used
+/// by `voprofctl request`, the tests and the CI smoke script. The
+/// daemon's own non-blocking event loop lives in daemon.cpp; only the
+/// pieces both sides of the socket need are declared here.
+
+#include <cstddef>
+#include <string>
+
+#include "voprof/util/result.hpp"
+
+namespace voprof::serve {
+
+/// Owning file descriptor (move-only; -1 = empty).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Give up ownership without closing.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Close the current fd (if any) and adopt `fd`.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a Unix-domain socket path. A stale socket file
+/// left by a previous run is unlinked first; any other existing file
+/// is an error. Errors carry Errc::kIo with the errno text.
+[[nodiscard]] util::Result<Fd> listen_unix(const std::string& path,
+                                           int backlog = 16);
+
+/// Connect to a listening Unix-domain socket.
+[[nodiscard]] util::Result<Fd> connect_unix(const std::string& path);
+
+/// Blocking single-connection NDJSON client. One instance = one
+/// socket; requests may be pipelined (send several lines, then
+/// collect the responses and correlate by id — voprofd answers in
+/// completion order, not submission order).
+class LineClient {
+ public:
+  /// Connect to the daemon at `path`.
+  [[nodiscard]] static util::Result<LineClient> connect(
+      const std::string& path);
+  /// Adopt an already-connected socket (tests use socketpair-less
+  /// in-process setups through this).
+  explicit LineClient(Fd fd) noexcept : fd_(std::move(fd)) {}
+
+  /// Send one request line (the trailing newline is added here).
+  [[nodiscard]] util::Result<bool> send_line(const std::string& line);
+  /// Read the next response line, waiting up to timeout_ms. A timeout
+  /// or closed connection is Errc::kIo.
+  [[nodiscard]] util::Result<std::string> recv_line(int timeout_ms);
+  /// send_line + recv_line.
+  [[nodiscard]] util::Result<std::string> roundtrip(const std::string& line,
+                                                    int timeout_ms = 60000);
+
+  [[nodiscard]] const Fd& fd() const noexcept { return fd_; }
+
+ private:
+  Fd fd_;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace voprof::serve

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "voprof/util/result.hpp"
+
 namespace voprof::util {
 
 /// Row-oriented CSV document with a mandatory header row.
@@ -42,7 +44,16 @@ class CsvDocument {
   [[nodiscard]] std::string str() const;
   void save(const std::string& path) const;
 
-  /// Parse from CSV text (numeric cells only). Throws on malformed input.
+  /// Primary, non-throwing parse (numeric cells only). Errors carry
+  /// Errc::kParse with a "row N" context, or Errc::kIo for unreadable
+  /// files (load_result).
+  [[nodiscard]] static Result<CsvDocument> parse_result(std::istream& is);
+  [[nodiscard]] static Result<CsvDocument> parse_string_result(
+      const std::string& text);
+  [[nodiscard]] static Result<CsvDocument> load_result(
+      const std::string& path);
+
+  /// Throwing shims over the *_result API.
   [[nodiscard]] static CsvDocument parse(std::istream& is);
   [[nodiscard]] static CsvDocument parse_string(const std::string& text);
   [[nodiscard]] static CsvDocument load(const std::string& path);

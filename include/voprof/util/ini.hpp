@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "voprof/util/result.hpp"
+
 namespace voprof::util {
 
 struct IniSection {
@@ -28,7 +30,17 @@ struct IniSection {
 
 class IniDocument {
  public:
-  /// Parse from text; throws ContractViolation on malformed lines.
+  /// Primary, non-throwing API: parse from text. Errors carry
+  /// Errc::kParse and a "line N" context.
+  [[nodiscard]] static Result<IniDocument> parse_result(
+      const std::string& text);
+  /// Read + parse a file; I/O failures carry Errc::kIo and parse
+  /// errors get the path prefixed to their context ("path:line N").
+  [[nodiscard]] static Result<IniDocument> load_result(
+      const std::string& path);
+
+  /// Throwing shims over the *_result API (historical spellings;
+  /// throw ContractViolation on any error).
   [[nodiscard]] static IniDocument parse(const std::string& text);
   [[nodiscard]] static IniDocument load(const std::string& path);
 

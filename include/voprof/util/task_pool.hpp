@@ -25,11 +25,21 @@ namespace voprof::util {
 
 class TaskPool {
  public:
-  /// `jobs` is the total parallelism: jobs <= 1 creates NO worker
-  /// threads and runs every task inline at submit time (the serial
-  /// path, byte-identical to the pre-pool code); jobs = 0 is resolved
-  /// to default_jobs().
-  explicit TaskPool(std::size_t jobs = 0);
+  /// How a single-job pool executes work. The sweep runner wants the
+  /// historical serial path (inline at submit time, bit-identical to
+  /// the pre-pool code); a server wants submit() to never block on the
+  /// task itself, even with one worker.
+  enum class Threading {
+    kInlineWhenSerial,  ///< jobs <= 1: no threads, run at submit time
+    kAlwaysThreaded,    ///< always spawn jobs worker threads (>= 1)
+  };
+
+  /// `jobs` is the total parallelism: with kInlineWhenSerial (the
+  /// default), jobs <= 1 creates NO worker threads and runs every task
+  /// inline at submit time (the serial path, byte-identical to the
+  /// pre-pool code); jobs = 0 is resolved to default_jobs().
+  explicit TaskPool(std::size_t jobs = 0,
+                    Threading threading = Threading::kInlineWhenSerial);
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;

@@ -1,52 +1,33 @@
 #pragma once
 /// \file voprof.hpp
-/// Umbrella header for the voprof library — the full pipeline of the
-/// ICPP'15 paper "Profiling and Understanding Virtualization Overhead
-/// in Cloud":
+/// Umbrella header for the *stable* voprof surface — the types a
+/// consumer needs to train the ICPP'15 overhead models, predict PM
+/// utilization, run declarative scenarios and talk to (or embed) the
+/// voprofd serving daemon:
 ///
-///   xensim    — simulated Xen testbed (Dom0, hypervisor, credit
-///               scheduler, virtual disks, VIFs/bridge)
-///   workloads — Table II micro-benchmarks (CPU/MEM/I/O/BW hogs)
-///   monitor   — Table I tools + the synchronized measurement script
-///   core      — Sec. V overhead models (Eq. 1-3), regression, trainer,
-///               predictor
-///   rubis     — the RUBiS-style two-tier evaluation application
-///   placement — CloudScale-style VOA/VOU placement (Sec. VI-B)
+///   xensim/spec      — machine/VM/workload specs (the vocabulary)
+///   scenario         — declarative INI scenarios + replicated runs
+///   core/trainer     — Table II sweep -> Sec. V model fitting
+///   core/predictor   — prediction-accuracy evaluation (Sec. VI)
+///   core/serialize   — model file load/save (Result + throwing shims)
+///   runner           — parallel sweep runner + process-wide ModelCache
+///   serve            — voprof-api-1 client/server (voprofd)
+///
+/// Everything here follows semver-style stability (see docs/API.md):
+/// breaking a type or function re-exported by this header requires a
+/// major version bump. Deeper headers (voprof/xensim/*.hpp,
+/// voprof/monitor/*.hpp, voprof/placement/*.hpp, ...) remain available
+/// but are internal: include them directly at your own risk — they may
+/// change in any release. The examples/ directory demonstrates both
+/// tiers.
 
-#include "voprof/core/diagnostics.hpp"
-#include "voprof/core/hetero_model.hpp"
-#include "voprof/core/hetero_trainer.hpp"
-#include "voprof/core/overhead_model.hpp"
 #include "voprof/core/predictor.hpp"
-#include "voprof/core/regression.hpp"
 #include "voprof/core/serialize.hpp"
 #include "voprof/core/trainer.hpp"
-#include "voprof/core/utilvec.hpp"
-#include "voprof/monitor/sample.hpp"
-#include "voprof/monitor/script.hpp"
-#include "voprof/monitor/tools.hpp"
-#include "voprof/util/csv.hpp"
-#include "voprof/util/matrix.hpp"
-#include "voprof/util/rng.hpp"
-#include "voprof/util/stats.hpp"
-#include "voprof/util/table.hpp"
-#include "voprof/util/time_series.hpp"
-#include "voprof/util/units.hpp"
-#include "voprof/placement/demand_predictor.hpp"
-#include "voprof/placement/evaluation.hpp"
-#include "voprof/placement/hotspot.hpp"
-#include "voprof/placement/placer.hpp"
-#include "voprof/rubis/app.hpp"
-#include "voprof/rubis/deployment.hpp"
-#include "voprof/workloads/hogs.hpp"
-#include "voprof/workloads/levels.hpp"
-#include "voprof/workloads/trace.hpp"
-#include "voprof/xensim/cluster.hpp"
-#include "voprof/xensim/cost_model.hpp"
-#include "voprof/xensim/counters.hpp"
-#include "voprof/xensim/domain.hpp"
-#include "voprof/xensim/engine.hpp"
-#include "voprof/xensim/machine.hpp"
-#include "voprof/xensim/process.hpp"
-#include "voprof/xensim/scheduler.hpp"
+#include "voprof/runner/runner.hpp"
+#include "voprof/scenario/scenario.hpp"
+#include "voprof/serve/api.hpp"
+#include "voprof/serve/daemon.hpp"
+#include "voprof/serve/service.hpp"
+#include "voprof/serve/socket.hpp"
 #include "voprof/xensim/spec.hpp"

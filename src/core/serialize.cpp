@@ -99,35 +99,69 @@ std::string models_to_string(const TrainedModels& models) {
   return os.str();
 }
 
-TrainedModels load_models(std::istream& is) {
+util::Result<TrainedModels> load_models_result(std::istream& is) {
   std::string header;
-  VOPROF_REQUIRE_MSG(static_cast<bool>(std::getline(is, header)),
-                     "empty model file");
-  VOPROF_REQUIRE_MSG(header == kFormatHeader,
-                     "unsupported model file header: '" + header + "'");
-  std::array<LinearFit, kMetricCount> single_fits;
-  for (std::size_t m = 0; m < kMetricCount; ++m) {
-    single_fits[m] = read_fit(is, "single." + kMetricKeys[m]);
+  if (!std::getline(is, header)) {
+    return util::Error{util::Errc::kParse, "empty model file", "models:1"};
   }
-  LinearFit dom0 = read_fit(is, "single.dom0_cpu");
-  LinearFit hyp = read_fit(is, "single.hyp_cpu");
-  std::array<LinearFit, kMetricCount> overhead;
-  for (std::size_t m = 0; m < kMetricCount; ++m) {
-    overhead[m] = read_fit(is, "multi.o." + kMetricKeys[m]);
+  if (header != kFormatHeader) {
+    return util::Error{util::Errc::kUnsupported,
+                       "unsupported model file header: '" + header + "'",
+                       "models:1"};
   }
-  LinearFit dom0_o = read_fit(is, "multi.o.dom0_cpu");
-  LinearFit hyp_o = read_fit(is, "multi.o.hyp_cpu");
+  // The record readers report malformed input through ContractViolation
+  // (they predate Result); fold those into the single error surface.
+  try {
+    std::array<LinearFit, kMetricCount> single_fits;
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      single_fits[m] = read_fit(is, "single." + kMetricKeys[m]);
+    }
+    LinearFit dom0 = read_fit(is, "single.dom0_cpu");
+    LinearFit hyp = read_fit(is, "single.hyp_cpu");
+    std::array<LinearFit, kMetricCount> overhead;
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      overhead[m] = read_fit(is, "multi.o." + kMetricKeys[m]);
+    }
+    LinearFit dom0_o = read_fit(is, "multi.o.dom0_cpu");
+    LinearFit hyp_o = read_fit(is, "multi.o.hyp_cpu");
 
-  TrainedModels out;
-  out.single = SingleVmModel::from_fits(single_fits, dom0, hyp);
-  out.multi = MultiVmModel::from_parts(out.single, std::move(overhead),
-                                       std::move(dom0_o), std::move(hyp_o));
-  return out;
+    TrainedModels out;
+    out.single = SingleVmModel::from_fits(single_fits, dom0, hyp);
+    out.multi = MultiVmModel::from_parts(out.single, std::move(overhead),
+                                         std::move(dom0_o), std::move(hyp_o));
+    return out;
+  } catch (const util::ContractViolation& e) {
+    return util::Error{util::Errc::kParse, e.what(), "models"};
+  }
+}
+
+util::Result<TrainedModels> models_from_string_result(
+    const std::string& text) {
+  std::istringstream is(text);
+  return load_models_result(is);
+}
+
+util::Result<TrainedModels> load_models_file_result(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    return util::Error{util::Errc::kIo, "cannot open model file for reading",
+                       path};
+  }
+  util::Result<TrainedModels> parsed = load_models_result(f);
+  if (!parsed.ok()) {
+    util::Error err = parsed.error();
+    err.context = path + " (" + err.context + ")";
+    return err;
+  }
+  return parsed;
+}
+
+TrainedModels load_models(std::istream& is) {
+  return load_models_result(is).value_or_throw();
 }
 
 TrainedModels models_from_string(const std::string& text) {
-  std::istringstream is(text);
-  return load_models(is);
+  return models_from_string_result(text).value_or_throw();
 }
 
 void save_models_file(const TrainedModels& models, const std::string& path) {
@@ -137,9 +171,7 @@ void save_models_file(const TrainedModels& models, const std::string& path) {
 }
 
 TrainedModels load_models_file(const std::string& path) {
-  std::ifstream f(path);
-  VOPROF_REQUIRE_MSG(f.good(), "cannot open model file for reading: " + path);
-  return load_models(f);
+  return load_models_file_result(path).value_or_throw();
 }
 
 // -------------------------------------------------------- typed model

@@ -66,6 +66,8 @@ std::int64_t wall_clock_us() noexcept {
   return steady_us();
 }
 
+std::int64_t monotonic_us() noexcept { return steady_us(); }
+
 TraceCollector& TraceCollector::global() {
   // A true static (unlike Registry::global()): the destructor is the
   // flush-at-exit path for VOPROF_TRACE. The registry it snapshots is

@@ -1,6 +1,7 @@
 #include "voprof/scenario/scenario.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "voprof/obs/trace.hpp"
 #include "voprof/runner/runner.hpp"
 #include "voprof/util/assert.hpp"
+#include "voprof/util/numeric.hpp"
 #include "voprof/util/rng.hpp"
 #include "voprof/util/table.hpp"
 #include "voprof/util/task_pool.hpp"
@@ -18,107 +20,167 @@
 
 namespace voprof::scenario {
 
-ScenarioSpec ScenarioSpec::parse(const std::string& text) {
-  const util::IniDocument doc = util::IniDocument::parse(text);
-  ScenarioSpec spec;
+util::Result<ScenarioSpec> ScenarioSpec::parse_result(
+    const std::string& text) {
+  util::Result<util::IniDocument> parsed = util::IniDocument::parse_result(text);
+  if (!parsed.ok()) return parsed.error();
+  const util::IniDocument doc = std::move(parsed).take();
 
-  const util::IniSection& cluster = doc.unique("cluster");
-  spec.seed = static_cast<std::uint64_t>(cluster.get_int("seed", 42));
-  spec.machines = cluster.get_int("machines", 1);
-  VOPROF_REQUIRE_MSG(spec.machines >= 1, "[cluster] machines must be >= 1");
-  const std::string sched = cluster.get_or("scheduler", "macro");
-  if (sched == "macro") {
-    spec.scheduler = sim::SchedulerMode::kMacro;
-  } else if (sched == "micro") {
-    spec.scheduler = sim::SchedulerMode::kMicro;
-  } else {
-    throw util::ContractViolation(
-        "[cluster] scheduler must be macro|micro, got: " + sched);
-  }
+  const auto fail = [](const std::string& section, const std::string& msg) {
+    return util::Error{util::Errc::kValidation, msg, section};
+  };
 
-  if (doc.has_kind("run")) {
-    const util::IniSection& run = doc.unique("run");
-    spec.duration_s = run.get_double("duration", 60.0);
-    spec.warmup_s = run.get_double("warmup", 0.0);
-  }
-  VOPROF_REQUIRE_MSG(spec.duration_s > 0.0, "[run] duration must be > 0");
-  VOPROF_REQUIRE_MSG(spec.warmup_s >= 0.0, "[run] warmup must be >= 0");
+  // The typed section accessors (get_int/get_double/unique) report
+  // malformed values through ContractViolation; fold those into the
+  // Result surface as parse errors.
+  try {
+    ScenarioSpec spec;
 
-  for (const util::IniSection* vm : doc.of_kind("vm")) {
-    VmEntry e;
-    e.name = vm->name;
-    VOPROF_REQUIRE_MSG(!e.name.empty(), "[vm] sections need a name");
-    e.machine = vm->get_int("machine", 0);
-    VOPROF_REQUIRE_MSG(e.machine >= 0 && e.machine < spec.machines,
-                       "[vm " + e.name + "] machine out of range");
-    e.cpu_pct = vm->get_double("cpu", 0.0);
-    e.mem_mib = vm->get_double("mem", 0.0);
-    e.io_blocks = vm->get_double("io", 0.0);
-    e.bw_kbps = vm->get_double("bw", 0.0);
-    e.trace_path = vm->get_or("trace", "");
-    e.trace_interval_s = vm->get_double("trace_interval", 1.0);
-    VOPROF_REQUIRE_MSG(
-        e.trace_path.empty() ||
-            (e.cpu_pct == 0 && e.mem_mib == 0 && e.io_blocks == 0 &&
-             e.bw_kbps == 0),
-        "[vm " + e.name + "] trace and steady levels are exclusive");
-    VOPROF_REQUIRE_MSG(e.trace_interval_s > 0.0,
-                       "[vm " + e.name + "] trace_interval must be > 0");
-    e.bw_target_machine =
-        vm->get_int("bw_target_machine", sim::NetTarget::kExternal);
-    e.bw_target_vm = vm->get_or("bw_target_vm", "");
-    VOPROF_REQUIRE_MSG(
-        (e.bw_target_machine == sim::NetTarget::kExternal) ==
-            e.bw_target_vm.empty(),
-        "[vm " + e.name +
-            "] bw_target_machine and bw_target_vm go together");
-    for (const auto& other : spec.vms) {
-      VOPROF_REQUIRE_MSG(!(other.name == e.name &&
-                           other.machine == e.machine),
-                         "duplicate VM '" + e.name + "' on machine " +
-                             std::to_string(e.machine));
+    const util::IniSection& cluster = doc.unique("cluster");
+    const int seed = cluster.get_int("seed", 42);
+    if (seed < 0) return fail("[cluster]", "seed must be >= 0");
+    spec.seed = static_cast<std::uint64_t>(seed);
+    spec.machines = cluster.get_int("machines", 1);
+    if (spec.machines < 1) return fail("[cluster]", "machines must be >= 1");
+    const std::string sched = cluster.get_or("scheduler", "macro");
+    if (sched == "macro") {
+      spec.scheduler = sim::SchedulerMode::kMacro;
+    } else if (sched == "micro") {
+      spec.scheduler = sim::SchedulerMode::kMicro;
+    } else {
+      return fail("[cluster]", "scheduler must be macro|micro, got: " + sched);
     }
-    spec.vms.push_back(std::move(e));
-  }
-  VOPROF_REQUIRE_MSG(!spec.vms.empty(), "scenario needs at least one [vm]");
 
-  for (const util::IniSection* m : doc.of_kind("monitor")) {
-    const int idx = m->get_int("machine", 0);
-    VOPROF_REQUIRE_MSG(idx >= 0 && idx < spec.machines,
-                       "[monitor] machine out of range");
-    spec.monitored_machines.push_back(idx);
-  }
-  if (spec.monitored_machines.empty()) {
-    spec.monitored_machines.push_back(0);  // monitor the first machine
-  }
+    if (doc.has_kind("run")) {
+      const util::IniSection& run = doc.unique("run");
+      spec.duration_s = run.get_double("duration", 60.0);
+      spec.warmup_s = run.get_double("warmup", 0.0);
+    }
+    if (!(spec.duration_s > 0.0)) {
+      return fail("[run]", "duration must be > 0, got " +
+                               util::format_double(spec.duration_s));
+    }
+    if (!(spec.warmup_s >= 0.0)) {
+      return fail("[run]", "warmup must be >= 0, got " +
+                               util::format_double(spec.warmup_s));
+    }
 
-  // Cross-validate bw targets.
-  for (const auto& vm : spec.vms) {
-    if (vm.bw_target_machine == sim::NetTarget::kExternal) continue;
-    VOPROF_REQUIRE_MSG(vm.bw_target_machine >= 0 &&
-                           vm.bw_target_machine < spec.machines,
-                       "[vm " + vm.name + "] bw_target_machine out of range");
-    bool found = false;
-    for (const auto& other : spec.vms) {
-      if (other.name == vm.bw_target_vm &&
-          other.machine == vm.bw_target_machine) {
-        found = true;
-        break;
+    for (const util::IniSection* vm : doc.of_kind("vm")) {
+      VmEntry e;
+      e.name = vm->name;
+      if (e.name.empty()) return fail("[vm]", "sections need a name");
+      const std::string section = "[vm " + e.name + "]";
+      e.machine = vm->get_int("machine", 0);
+      if (e.machine < 0 || e.machine >= spec.machines) {
+        return fail(section, "machine index " + std::to_string(e.machine) +
+                                 " out of range [0, " +
+                                 std::to_string(spec.machines) + ")");
+      }
+      e.cpu_pct = vm->get_double("cpu", 0.0);
+      e.mem_mib = vm->get_double("mem", 0.0);
+      e.io_blocks = vm->get_double("io", 0.0);
+      e.bw_kbps = vm->get_double("bw", 0.0);
+      if (e.cpu_pct < 0 || e.mem_mib < 0 || e.io_blocks < 0 || e.bw_kbps < 0) {
+        return fail(section, "workload levels must be >= 0");
+      }
+      e.trace_path = vm->get_or("trace", "");
+      e.trace_interval_s = vm->get_double("trace_interval", 1.0);
+      if (!e.trace_path.empty() &&
+          (e.cpu_pct != 0 || e.mem_mib != 0 || e.io_blocks != 0 ||
+           e.bw_kbps != 0)) {
+        return fail(section, "trace and steady levels are exclusive");
+      }
+      if (!(e.trace_interval_s > 0.0)) {
+        return fail(section, "trace_interval must be > 0");
+      }
+      e.bw_target_machine =
+          vm->get_int("bw_target_machine", sim::NetTarget::kExternal);
+      e.bw_target_vm = vm->get_or("bw_target_vm", "");
+      if ((e.bw_target_machine == sim::NetTarget::kExternal) !=
+          e.bw_target_vm.empty()) {
+        return fail(section, "bw_target_machine and bw_target_vm go together");
+      }
+      // VM names are a namespace of their own: bw targets and request
+      // APIs address guests by name, so a duplicate name is ambiguous
+      // even across machines.
+      for (const auto& other : spec.vms) {
+        if (other.name == e.name) {
+          return fail(section,
+                      "duplicate VM name (already declared on machine " +
+                          std::to_string(other.machine) + ")");
+        }
+      }
+      spec.vms.push_back(std::move(e));
+    }
+    if (spec.vms.empty()) {
+      return fail("[vm]", "scenario needs at least one [vm] section");
+    }
+
+    for (const util::IniSection* m : doc.of_kind("monitor")) {
+      const int idx = m->get_int("machine", 0);
+      if (idx < 0 || idx >= spec.machines) {
+        return fail("[monitor]", "machine index " + std::to_string(idx) +
+                                     " out of range [0, " +
+                                     std::to_string(spec.machines) + ")");
+      }
+      spec.monitored_machines.push_back(idx);
+    }
+    if (spec.monitored_machines.empty()) {
+      spec.monitored_machines.push_back(0);  // monitor the first machine
+    }
+
+    // Cross-validate bw targets.
+    for (const auto& vm : spec.vms) {
+      if (vm.bw_target_machine == sim::NetTarget::kExternal) continue;
+      const std::string section = "[vm " + vm.name + "]";
+      if (vm.bw_target_machine < 0 || vm.bw_target_machine >= spec.machines) {
+        return fail(section, "bw_target_machine " +
+                                 std::to_string(vm.bw_target_machine) +
+                                 " out of range [0, " +
+                                 std::to_string(spec.machines) + ")");
+      }
+      bool found = false;
+      for (const auto& other : spec.vms) {
+        if (other.name == vm.bw_target_vm &&
+            other.machine == vm.bw_target_machine) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return fail(section, "bw target '" + vm.bw_target_vm +
+                                 "' not found on machine " +
+                                 std::to_string(vm.bw_target_machine));
       }
     }
-    VOPROF_REQUIRE_MSG(found, "[vm " + vm.name + "] bw target '" +
-                                  vm.bw_target_vm + "' not found on machine " +
-                                  std::to_string(vm.bw_target_machine));
+    return spec;
+  } catch (const util::ContractViolation& e) {
+    return util::Error{util::Errc::kParse, e.what(), "scenario"};
   }
-  return spec;
+}
+
+util::Result<ScenarioSpec> ScenarioSpec::load_result(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    return util::Error{util::Errc::kIo, "cannot open scenario", path};
+  }
+  std::ostringstream os;
+  os << f.rdbuf();
+  util::Result<ScenarioSpec> parsed = parse_result(os.str());
+  if (!parsed.ok()) {
+    util::Error err = parsed.error();
+    err.context = path + ": " + err.context;
+    return err;
+  }
+  return parsed;
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  return parse_result(text).value_or_throw();
 }
 
 ScenarioSpec ScenarioSpec::load(const std::string& path) {
-  std::ifstream f(path);
-  VOPROF_REQUIRE_MSG(f.good(), "cannot open scenario: " + path);
-  std::ostringstream os;
-  os << f.rdbuf();
-  return parse(os.str());
+  return load_result(path).value_or_throw();
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
@@ -195,6 +257,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 ReplicatedScenarioResult run_scenario_replicated(const ScenarioSpec& spec,
                                                  std::size_t replications,
                                                  int jobs) {
+  return run_scenario_replicated(spec, replications, jobs,
+                                 std::function<bool()>{});
+}
+
+ReplicatedScenarioResult run_scenario_replicated(
+    const ScenarioSpec& spec, std::size_t replications, int jobs,
+    const std::function<bool()>& keep_going) {
   VOPROF_REQUIRE_MSG(replications >= 1,
                      "run_scenario_replicated needs replications >= 1");
 
@@ -206,8 +275,10 @@ ReplicatedScenarioResult run_scenario_replicated(const ScenarioSpec& spec,
   runner::RunOptions run_opts;
   run_opts.jobs = jobs;
   runner::SweepRunner sweep(run_opts);
-  const std::vector<ScenarioResult> runs =
-      sweep.map(replications, [&spec](std::size_t rep) {
+  const std::vector<std::optional<ScenarioResult>> runs = sweep.map(
+      replications,
+      [&spec, &keep_going](std::size_t rep) -> std::optional<ScenarioResult> {
+        if (keep_going && !keep_going()) return std::nullopt;
         ScenarioSpec rep_spec = spec;
         rep_spec.seed = util::seed_for(spec.seed, rep);
         return run_scenario(rep_spec);
@@ -215,10 +286,13 @@ ReplicatedScenarioResult run_scenario_replicated(const ScenarioSpec& spec,
 
   // Fold each run's samples into per-run stats, then merge those in
   // replication order — the same reduction a serial loop performs.
+  // Replications skipped by keep_going contribute nothing and are not
+  // counted, so `replications` in the result reports completed runs.
   ReplicatedScenarioResult out;
-  out.replications = replications;
-  for (const ScenarioResult& run : runs) {
-    for (const auto& [machine, report] : run.reports) {
+  for (const std::optional<ScenarioResult>& run : runs) {
+    if (!run.has_value()) continue;
+    ++out.replications;
+    for (const auto& [machine, report] : run->reports) {
       for (const std::string& key : report.keys()) {
         const mon::SeriesSet& s = report.series(key);
         ReplicatedScenarioResult::EntityStats& agg = out.stats[machine][key];

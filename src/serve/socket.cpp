@@ -1,0 +1,154 @@
+#include "voprof/serve/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "voprof/obs/trace.hpp"
+
+namespace voprof::serve {
+
+namespace {
+
+util::Error io_error(const std::string& what, const std::string& context) {
+  return util::Error{util::Errc::kIo, what + ": " + std::strerror(errno),
+                     context};
+}
+
+/// Fill a sockaddr_un for `path`; too-long paths are an error (the
+/// kernel limit is sizeof(sun_path) including the NUL).
+util::Result<sockaddr_un> make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return util::Error{util::Errc::kValidation,
+                       "socket path must be 1.." +
+                           std::to_string(sizeof(addr.sun_path) - 1) +
+                           " bytes",
+                       path};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+util::Result<Fd> listen_unix(const std::string& path, int backlog) {
+  util::Result<sockaddr_un> addr = make_addr(path);
+  if (!addr.ok()) return addr.error();
+
+  // Unlink only a stale *socket* file; refusing to clobber a regular
+  // file means a typoed --socket can never destroy data.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return util::Error{util::Errc::kIo,
+                         "path exists and is not a socket", path};
+    }
+    if (::unlink(path.c_str()) != 0) {
+      return io_error("cannot remove stale socket", path);
+    }
+  }
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return io_error("socket() failed", path);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(sockaddr_un)) != 0) {
+    return io_error("bind() failed", path);
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return io_error("listen() failed", path);
+  }
+  return fd;
+}
+
+util::Result<Fd> connect_unix(const std::string& path) {
+  util::Result<sockaddr_un> addr = make_addr(path);
+  if (!addr.ok()) return addr.error();
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return io_error("socket() failed", path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+                sizeof(sockaddr_un)) != 0) {
+    return io_error("connect() failed", path);
+  }
+  return fd;
+}
+
+util::Result<LineClient> LineClient::connect(const std::string& path) {
+  util::Result<Fd> fd = connect_unix(path);
+  if (!fd.ok()) return fd.error();
+  return LineClient(std::move(fd).take());
+}
+
+util::Result<bool> LineClient::send_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_.get(), framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("send() failed", "client");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+util::Result<std::string> LineClient::recv_line(int timeout_ms) {
+  const std::int64_t deadline_us =
+      obs::monotonic_us() + static_cast<std::int64_t>(timeout_ms) * 1000;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    const std::int64_t left_us = deadline_us - obs::monotonic_us();
+    if (left_us <= 0) {
+      return util::Error{util::Errc::kIo,
+                         "timed out waiting for a response line", "client"};
+    }
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>((left_us + 999) / 1000));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return io_error("poll() failed", "client");
+    }
+    if (rc == 0) continue;  // re-check the deadline at the top
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("recv() failed", "client");
+    }
+    if (n == 0) {
+      return util::Error{util::Errc::kIo,
+                         "connection closed by the server", "client"};
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+util::Result<std::string> LineClient::roundtrip(const std::string& line,
+                                                int timeout_ms) {
+  util::Result<bool> sent = send_line(line);
+  if (!sent.ok()) return sent.error();
+  return recv_line(timeout_ms);
+}
+
+}  // namespace voprof::serve

@@ -97,23 +97,38 @@ std::vector<std::string> split_line(const std::string& line) {
 
 }  // namespace
 
-CsvDocument CsvDocument::parse(std::istream& is) {
+Result<CsvDocument> CsvDocument::parse_result(std::istream& is) {
   std::string line;
-  VOPROF_REQUIRE_MSG(static_cast<bool>(std::getline(is, line)),
-                     "CSV input is empty");
-  CsvDocument doc(split_line(line));
+  if (!std::getline(is, line)) {
+    return Error{Errc::kParse, "CSV input is empty", "row 1"};
+  }
+  CsvDocument doc;
+  doc.header_ = split_line(line);
+  if (doc.header_.empty() || (doc.header_.size() == 1 &&
+                              doc.header_.front().empty())) {
+    return Error{Errc::kParse, "CSV needs at least one column", "row 1"};
+  }
+  std::size_t row_no = 1;
   while (std::getline(is, line)) {
+    ++row_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     const auto cells = split_line(line);
-    VOPROF_REQUIRE_MSG(cells.size() == doc.header_.size(),
-                       "CSV row width mismatch while parsing");
+    const std::string ctx = "row " + std::to_string(row_no);
+    if (cells.size() != doc.header_.size()) {
+      return Error{Errc::kParse,
+                   "row width mismatch: expected " +
+                       std::to_string(doc.header_.size()) + " cells, got " +
+                       std::to_string(cells.size()),
+                   ctx};
+    }
     std::vector<double> row;
     row.reserve(cells.size());
     for (const auto& cell : cells) {
       double v = 0.0;
       if (!parse_double(cell, v)) {
-        throw ContractViolation("non-numeric CSV cell: '" + cell + "'");
+        return Error{Errc::kParse, "non-numeric CSV cell: '" + cell + "'",
+                     ctx};
       }
       row.push_back(v);
     }
@@ -122,15 +137,35 @@ CsvDocument CsvDocument::parse(std::istream& is) {
   return doc;
 }
 
-CsvDocument CsvDocument::parse_string(const std::string& text) {
+Result<CsvDocument> CsvDocument::parse_string_result(const std::string& text) {
   std::istringstream is(text);
-  return parse(is);
+  return parse_result(is);
+}
+
+Result<CsvDocument> CsvDocument::load_result(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    return Error{Errc::kIo, "cannot open CSV for reading", path};
+  }
+  Result<CsvDocument> parsed = parse_result(f);
+  if (!parsed.ok()) {
+    Error err = parsed.error();
+    err.context = path + ":" + err.context;
+    return err;
+  }
+  return parsed;
+}
+
+CsvDocument CsvDocument::parse(std::istream& is) {
+  return parse_result(is).value_or_throw();
+}
+
+CsvDocument CsvDocument::parse_string(const std::string& text) {
+  return parse_string_result(text).value_or_throw();
 }
 
 CsvDocument CsvDocument::load(const std::string& path) {
-  std::ifstream f(path);
-  VOPROF_REQUIRE_MSG(f.good(), "cannot open CSV for reading: " + path);
-  return parse(f);
+  return load_result(path).value_or_throw();
 }
 
 }  // namespace voprof::util

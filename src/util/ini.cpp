@@ -56,7 +56,10 @@ int IniSection::get_int(const std::string& key, int fallback) const {
   return i;
 }
 
-IniDocument IniDocument::parse(const std::string& text) {
+Result<IniDocument> IniDocument::parse_result(const std::string& text) {
+  const auto fail = [](int line_no, const std::string& msg) {
+    return Error{Errc::kParse, msg, "line " + std::to_string(line_no)};
+  };
   IniDocument doc;
   std::istringstream is(text);
   std::string raw;
@@ -69,13 +72,13 @@ IniDocument IniDocument::parse(const std::string& text) {
     line = trim(line);
     if (line.empty()) continue;
     if (line.front() == '[') {
-      VOPROF_REQUIRE_MSG(line.back() == ']',
-                         "unterminated section header at line " +
-                             std::to_string(line_no));
+      if (line.back() != ']') {
+        return fail(line_no, "unterminated section header");
+      }
       const std::string header = trim(line.substr(1, line.size() - 2));
-      VOPROF_REQUIRE_MSG(!header.empty(),
-                         "empty section header at line " +
-                             std::to_string(line_no));
+      if (header.empty()) {
+        return fail(line_no, "empty section header");
+      }
       IniSection section;
       const auto space = header.find_first_of(" \t");
       if (space == std::string::npos) {
@@ -88,27 +91,44 @@ IniDocument IniDocument::parse(const std::string& text) {
       continue;
     }
     const auto eq = line.find('=');
-    VOPROF_REQUIRE_MSG(eq != std::string::npos,
-                       "expected 'key = value' at line " +
-                           std::to_string(line_no) + ": '" + raw + "'");
-    VOPROF_REQUIRE_MSG(!doc.sections_.empty(),
-                       "key before any section at line " +
-                           std::to_string(line_no));
+    if (eq == std::string::npos) {
+      return fail(line_no, "expected 'key = value', got: '" + raw + "'");
+    }
+    if (doc.sections_.empty()) {
+      return fail(line_no, "key before any section");
+    }
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
-    VOPROF_REQUIRE_MSG(!key.empty(),
-                       "empty key at line " + std::to_string(line_no));
+    if (key.empty()) {
+      return fail(line_no, "empty key");
+    }
     doc.sections_.back().entries.emplace_back(key, value);
   }
   return doc;
 }
 
-IniDocument IniDocument::load(const std::string& path) {
+Result<IniDocument> IniDocument::load_result(const std::string& path) {
   std::ifstream f(path);
-  VOPROF_REQUIRE_MSG(f.good(), "cannot open config: " + path);
+  if (!f.good()) {
+    return Error{Errc::kIo, "cannot open config", path};
+  }
   std::ostringstream os;
   os << f.rdbuf();
-  return parse(os.str());
+  Result<IniDocument> parsed = parse_result(os.str());
+  if (!parsed.ok()) {
+    Error err = parsed.error();
+    err.context = path + ":" + err.context;
+    return err;
+  }
+  return parsed;
+}
+
+IniDocument IniDocument::parse(const std::string& text) {
+  return parse_result(text).value_or_throw();
+}
+
+IniDocument IniDocument::load(const std::string& path) {
+  return load_result(path).value_or_throw();
 }
 
 std::vector<const IniSection*> IniDocument::of_kind(

@@ -1,0 +1,28 @@
+#include "voprof/util/result.hpp"
+
+namespace voprof::util {
+
+const char* errc_name(Errc code) noexcept {
+  switch (code) {
+    case Errc::kParse:
+      return "parse";
+    case Errc::kValidation:
+      return "validation";
+    case Errc::kIo:
+      return "io";
+    case Errc::kUnsupported:
+      return "unsupported";
+    case Errc::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+std::string Error::to_string() const {
+  std::string out = std::string(errc_name(code)) + " error";
+  if (!message.empty()) out += ": " + message;
+  if (!context.empty()) out += " (at " + context + ")";
+  return out;
+}
+
+}  // namespace voprof::util

@@ -33,9 +33,11 @@ std::size_t TaskPool::default_jobs() noexcept {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
-TaskPool::TaskPool(std::size_t jobs)
+TaskPool::TaskPool(std::size_t jobs, Threading threading)
     : jobs_(jobs == 0 ? default_jobs() : jobs) {
-  if (jobs_ <= 1) return;  // serial path: submit() runs tasks inline
+  if (jobs_ <= 1 && threading == Threading::kInlineWhenSerial) {
+    return;  // serial path: submit() runs tasks inline
+  }
   workers_.reserve(jobs_);
   for (std::size_t i = 0; i < jobs_; ++i) {
     workers_.emplace_back([this]() { worker_loop(); });

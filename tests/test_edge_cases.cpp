@@ -6,7 +6,15 @@
 
 #include <memory>
 
+#include "voprof/monitor/script.hpp"
+#include "voprof/placement/evaluation.hpp"
+#include "voprof/placement/placer.hpp"
+#include "voprof/util/rng.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/workloads/levels.hpp"
+#include "voprof/xensim/cluster.hpp"
 
 namespace voprof {
 namespace {

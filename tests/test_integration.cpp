@@ -8,7 +8,15 @@
 
 #include <memory>
 
+#include "voprof/monitor/script.hpp"
+#include "voprof/placement/placer.hpp"
+#include "voprof/rubis/deployment.hpp"
+#include "voprof/util/csv.hpp"
+#include "voprof/util/units.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/hogs.hpp"
+#include "voprof/workloads/trace.hpp"
+#include "voprof/xensim/cluster.hpp"
 #include "voprof/rubis/deployment.hpp"
 
 namespace voprof {

@@ -1,0 +1,70 @@
+#pragma once
+/// \file ctl_flags.hpp
+/// The one flag table of the voprof command-line surface. Every
+/// voprofctl subcommand (and voprofd, which is `voprofctl serve` in a
+/// dedicated binary) declares its flags here, so:
+///  * unknown flags fail with the command's valid-flag list instead of
+///    silently parsing;
+///  * the cross-cutting flags keep one spelling everywhere: `--jobs`,
+///    `--seed`, `--format csv|json`, `--trace-out FILE`;
+///  * deprecated spellings (`simulate --csv` for `--series-out`,
+///    `fit/inspect --trace` for `--observations`) still work but are
+///    rewritten to their canonical flag with a one-line stderr
+///    warning.
+///
+/// tests/test_ctl_flags.cpp drives this table directly; the binaries
+/// only wrap it.
+
+#include <string>
+#include <vector>
+
+#include "voprof/util/cli.hpp"
+#include "voprof/util/result.hpp"
+
+namespace voprof::tools {
+
+/// One flag a command accepts.
+struct FlagSpec {
+  std::string name;      ///< canonical spelling (no leading --)
+  bool boolean = false;  ///< switch, takes no value
+};
+
+/// A deprecated spelling and the canonical flag it maps to.
+struct FlagAlias {
+  std::string command;     ///< command the alias applies to
+  std::string deprecated;  ///< old spelling (no leading --)
+  std::string canonical;
+};
+
+/// Flags accepted by `command`; empty when the command is unknown.
+[[nodiscard]] const std::vector<FlagSpec>& command_flags(
+    const std::string& command);
+
+/// Commands registered in the table.
+[[nodiscard]] std::vector<std::string> known_commands();
+
+/// The deprecation map (exposed for the self-test).
+[[nodiscard]] const std::vector<FlagAlias>& flag_aliases();
+
+/// Result of canonicalizing a raw flag list.
+struct ParsedFlags {
+  util::CliArgs args;
+  /// Warnings emitted for deprecated spellings ("--csv is
+  /// deprecated; use --series-out"). The caller prints them (the
+  /// binaries send them to stderr); tests assert on them.
+  std::vector<std::string> warnings;
+};
+
+/// Parse the tokens after `<program> <command>`: rewrite deprecated
+/// spellings, reject flags the command does not declare (listing the
+/// valid ones), and hand back strict CliArgs. Errors are
+/// Errc::kValidation.
+[[nodiscard]] util::Result<ParsedFlags> parse_flags(
+    const std::string& command, const std::vector<std::string>& tokens);
+
+/// Convenience over argv: tokens = argv[first_token..argc).
+[[nodiscard]] util::Result<ParsedFlags> parse_flags_argv(
+    const std::string& command, int argc, const char* const* argv,
+    int first_token);
+
+}  // namespace voprof::tools

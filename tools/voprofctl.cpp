@@ -3,29 +3,36 @@
 /// cloud operator would actually run:
 ///
 ///   voprofctl train   --out models.txt [--method lms|ols]
-///                     [--duration s] [--seed n]
+///                     [--duration s] [--seed n] [--jobs n]
 ///       Run the Table II x {1,2,4}-VM sweep on the simulated testbed
 ///       and fit the Sec. V models.
 ///
 ///   voprofctl export-trace --out data.csv [--duration s]
 ///       Dump the raw training observations as CSV (per-second rows).
 ///
-///   voprofctl fit     --trace data.csv --out models.txt [--method ...]
+///   voprofctl fit     --observations data.csv --out models.txt
 ///       Trace-driven fitting from a previously exported (or external)
 ///       observation CSV.
 ///
 ///   voprofctl predict --models models.txt --cpu C --mem M --io I
-///                     --bw B [--vms N]
+///                     --bw B [--vms N] [--format csv|json]
 ///       Predict PM utilization (incl. Dom0 + hypervisor) for a
 ///       deployment whose summed VM utilization is (C, M, I, B).
 ///
 ///   voprofctl profile --kind cpu|mem|io|bw --value V [--vms N]
-///                     [--duration s]
 ///       Measure one micro-benchmark cell and print all entities.
 ///
-///   voprofctl rubis   --models models.txt [--clients N] [--duration s]
+///   voprofctl rubis   --models models.txt [--clients N]
 ///       Deploy the two-tier RUBiS application and report prediction
 ///       accuracy against the measured PMs.
+///
+///   voprofctl serve   --socket PATH / voprofctl request --socket PATH
+///       Run the voprofd daemon in-process / send it one request.
+///
+/// Every command accepts --trace-out FILE (observability trace export)
+/// and shares one spelling for --jobs / --seed / --format. Flags are
+/// declared in tools/ctl_flags.cpp; deprecated spellings are rewritten
+/// there with a warning.
 
 #include <cstdio>
 #include <fstream>
@@ -33,13 +40,20 @@
 #include <string>
 
 #include "bench_diff.hpp"
+#include "ctl_flags.hpp"
 #include "harness.hpp"
 #include "trace_cmd.hpp"
+#include "voprof/core/diagnostics.hpp"
+#include "voprof/monitor/script.hpp"
 #include "voprof/obs/trace.hpp"
+#include "voprof/rubis/deployment.hpp"
 #include "voprof/util/assert.hpp"
-#include "voprof/scenario/scenario.hpp"
 #include "voprof/util/cli.hpp"
+#include "voprof/util/numeric.hpp"
+#include "voprof/util/table.hpp"
 #include "voprof/voprof.hpp"
+#include "voprof/workloads/levels.hpp"
+#include "voprof/xensim/cluster.hpp"
 
 namespace {
 
@@ -51,27 +65,34 @@ int usage() {
       "commands:\n"
       "  train         run the micro-benchmark sweep and fit the models\n"
       "                  --out FILE [--method lms|ols] [--duration SEC]\n"
-      "                  [--seed N]\n"
+      "                  [--seed N] [--jobs N]\n"
       "  export-trace  dump sweep observations as CSV\n"
-      "                  --out FILE [--duration SEC] [--seed N]\n"
+      "                  --out FILE [--duration SEC] [--seed N] [--jobs N]\n"
       "  fit           fit models from an observation CSV\n"
-      "                  --trace FILE --out FILE [--method lms|ols]\n"
+      "                  --observations FILE --out FILE [--method lms|ols]\n"
       "  predict       predict PM utilization from summed VM metrics\n"
       "                  --models FILE --cpu PCT --mem MIB --io BLKS\n"
-      "                  --bw KBPS [--vms N]\n"
+      "                  --bw KBPS [--vms N] [--format csv|json]\n"
       "  profile       measure one workload cell\n"
       "                  --kind cpu|mem|io|bw --value V [--vms N]\n"
-      "                  [--duration SEC]\n"
+      "                  [--duration SEC] [--seed N] [--format csv|json]\n"
       "  rubis         RUBiS prediction-accuracy run\n"
       "                  --models FILE [--clients N] [--duration SEC]\n"
       "  inspect       bootstrap confidence intervals for the model\n"
       "                  coefficients fitted from an observation CSV\n"
-      "                  --trace FILE [--method lms|ols] [--resamples N]\n"
+      "                  --observations FILE [--method lms|ols]\n"
+      "                  [--resamples N]\n"
       "  simulate      run a declarative scenario (INI) and print the\n"
       "                  measured utilizations\n"
-      "                  --scenario FILE [--csv OUT.csv]\n"
-      "                  [--replications N] [--jobs N]\n"
-      "                  [--trace-out TRACE.json]\n"
+      "                  --scenario FILE [--series-out OUT.csv]\n"
+      "                  [--replications N] [--jobs N] [--seed N]\n"
+      "                  [--format csv|json]\n"
+      "  serve         run the voprofd daemon (see `voprofd --help`)\n"
+      "                  --socket PATH [--jobs N] [--queue-capacity N]\n"
+      "                  [--default-deadline-ms MS] [--metrics-out FILE]\n"
+      "  request       send one voprof-api-1 request to a daemon\n"
+      "                  --socket PATH --op OP [--params JSON] [--id ID]\n"
+      "                  [--deadline-ms MS] [--timeout-ms MS]\n"
       "  bench-diff    compare two BENCH_*.json perf records\n"
       "                  --baseline FILE --current FILE\n"
       "                  [--threshold FRAC] [--report-improvement]\n"
@@ -84,7 +105,9 @@ int usage() {
       "                  trace export FILE [--out OUT.csv]\n"
       "                                       per-span aggregates as CSV\n"
       "  version       print the build identity (compiler, flags,\n"
-      "                  git describe, observability state)\n";
+      "                  git describe, observability state)\n"
+      "every command also accepts --trace-out FILE (observability\n"
+      "trace; VOPROF_TRACE=FILE works too)\n";
   return 2;
 }
 
@@ -102,10 +125,17 @@ wl::WorkloadKind parse_kind(const std::string& name) {
   throw util::ContractViolation("unknown kind (want cpu|mem|io|bw): " + name);
 }
 
+/// Print a loader failure the uniform way and signal exit 1.
+int loader_error(const util::Error& err) {
+  std::cerr << "voprofctl: " << err.to_string() << '\n';
+  return 1;
+}
+
 model::TrainerConfig trainer_config(const util::CliArgs& args) {
   model::TrainerConfig cfg;
   cfg.duration = util::seconds(args.get_double("duration", 60.0));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.jobs = args.get_int("jobs", 1);
   return cfg;
 }
 
@@ -136,8 +166,11 @@ int cmd_export_trace(const util::CliArgs& args) {
 }
 
 int cmd_fit(const util::CliArgs& args) {
-  const model::TrainingSet data = model::training_set_from_csv(
-      util::CsvDocument::load(args.get("trace")));
+  util::Result<util::CsvDocument> csv =
+      util::CsvDocument::load_result(args.get("observations"));
+  if (!csv.ok()) return loader_error(csv.error());
+  const model::TrainingSet data =
+      model::training_set_from_csv(csv.value());
   const auto method = parse_method(args.get_or("method", "lms"));
   const model::TrainedModels models =
       model::Trainer::fit_models(data, method);
@@ -148,23 +181,50 @@ int cmd_fit(const util::CliArgs& args) {
 }
 
 int cmd_predict(const util::CliArgs& args) {
-  const model::TrainedModels models =
-      model::load_models_file(args.get("models"));
+  util::Result<model::TrainedModels> loaded =
+      model::load_models_file_result(args.get("models"));
+  if (!loaded.ok()) return loader_error(loaded.error());
+  const model::TrainedModels models = std::move(loaded).take();
   const model::UtilVec sum{args.get_double("cpu", 0.0),
                            args.get_double("mem", 0.0),
                            args.get_double("io", 0.0),
                            args.get_double("bw", 0.0)};
   const int n = args.get_int("vms", 1);
+  const std::string format = args.get_or("format", "table");
+
+  if (format == "json") {
+    // The exact voprof-api-1 `predict` result object: scripted callers
+    // get identical bytes whether they ask the CLI or the daemon.
+    std::cout << serve::predict_result_json(models, sum, n).dump(0) << '\n';
+    return 0;
+  }
   const model::UtilVec pm = models.multi.predict(sum, n);
+  const double pm_cpu = models.multi.predict_pm_cpu_indirect(sum, n);
+  const double dom0 = models.multi.predict_dom0_cpu(sum, n);
+  const double hyp = models.multi.predict_hyp_cpu(sum, n);
+  if (format == "csv") {
+    std::cout << "metric,vm_sum,pm_predicted\n"
+              << "cpu," << util::format_double(sum.cpu) << ','
+              << util::format_double(pm_cpu) << '\n'
+              << "mem," << util::format_double(sum.mem) << ','
+              << util::format_double(pm.mem) << '\n'
+              << "io," << util::format_double(sum.io) << ','
+              << util::format_double(pm.io) << '\n'
+              << "bw," << util::format_double(sum.bw) << ','
+              << util::format_double(pm.bw) << '\n'
+              << "dom0_cpu,0," << util::format_double(dom0) << '\n'
+              << "hyp_cpu,0," << util::format_double(hyp) << '\n';
+    return 0;
+  }
+  if (format != "table") {
+    throw util::ContractViolation("unknown --format (want csv|json): " +
+                                  format);
+  }
   util::AsciiTable t("predicted PM utilization for " + std::to_string(n) +
                      " co-located VM(s)");
   t.set_header({"metric", "sum of VMs", "predicted PM", "overhead"});
-  t.add_row({"CPU (%)", util::fmt(sum.cpu, 2),
-             util::fmt(models.multi.predict_pm_cpu_indirect(sum, n), 2),
-             util::fmt(models.multi.predict_dom0_cpu(sum, n), 2) +
-                 " Dom0 + " +
-                 util::fmt(models.multi.predict_hyp_cpu(sum, n), 2) +
-                 " hyp"});
+  t.add_row({"CPU (%)", util::fmt(sum.cpu, 2), util::fmt(pm_cpu, 2),
+             util::fmt(dom0, 2) + " Dom0 + " + util::fmt(hyp, 2) + " hyp"});
   t.add_row({"MEM (MiB)", util::fmt(sum.mem, 1), util::fmt(pm.mem, 1),
              util::fmt(pm.mem - sum.mem, 1)});
   t.add_row({"I/O (blk/s)", util::fmt(sum.io, 1), util::fmt(pm.io, 1),
@@ -195,6 +255,30 @@ int cmd_profile(const util::CliArgs& args) {
   const mon::MeasurementReport& report =
       monitor.measure(util::seconds(duration));
 
+  const std::string format = args.get_or("format", "table");
+  if (format == "csv") {
+    // Full per-second series, same schema as `simulate --series-out`.
+    std::cout << mon::report_to_csv(report).str();
+    return 0;
+  }
+  if (format == "json") {
+    util::Json entities = util::Json::object();
+    for (const auto& key : report.keys()) {
+      const mon::UtilSample u = report.mean(key);
+      util::Json e = util::Json::object();
+      e.set("cpu", u.cpu_pct);
+      e.set("mem", u.mem_mib);
+      e.set("io", u.io_blocks_per_s);
+      e.set("bw", u.bw_kbps);
+      entities.set(key, std::move(e));
+    }
+    std::cout << entities.dump(0) << '\n';
+    return 0;
+  }
+  if (format != "table") {
+    throw util::ContractViolation("unknown --format (want csv|json): " +
+                                  format);
+  }
   util::AsciiTable t(wl::kind_name(kind) + " @ " + util::fmt(value, 2) +
                      " " + wl::kind_unit(kind) + " x " +
                      std::to_string(n_vms) + " VM(s), " +
@@ -210,8 +294,11 @@ int cmd_profile(const util::CliArgs& args) {
 }
 
 int cmd_inspect(const util::CliArgs& args) {
-  const model::TrainingSet data = model::training_set_from_csv(
-      util::CsvDocument::load(args.get("trace")));
+  util::Result<util::CsvDocument> csv =
+      util::CsvDocument::load_result(args.get("observations"));
+  if (!csv.ok()) return loader_error(csv.error());
+  const model::TrainingSet data =
+      model::training_set_from_csv(csv.value());
   model::BootstrapConfig cfg;
   cfg.method = parse_method(args.get_or("method", "ols"));
   cfg.resamples = args.get_int("resamples", 200);
@@ -223,19 +310,50 @@ int cmd_inspect(const util::CliArgs& args) {
 }
 
 int cmd_simulate(const util::CliArgs& args) {
-  // `fit`/`inspect` already claim --trace for observation CSVs, so the
-  // observability trace output is --trace-out here (VOPROF_TRACE also
-  // works, as everywhere).
-  auto& collector = obs::TraceCollector::global();
-  if (args.has("trace-out")) {
-    collector.enable(args.get("trace-out"));
-  } else {
-    collector.init_from_env();
+  util::Result<scenario::ScenarioSpec> loaded =
+      scenario::ScenarioSpec::load_result(args.get("scenario"));
+  if (!loaded.ok()) return loader_error(loaded.error());
+  scenario::ScenarioSpec spec = std::move(loaded).take();
+  if (args.has("seed")) {
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  }
+  const int replications = args.get_int("replications", 1);
+  const std::string format = args.get_or("format", "table");
+
+  if (format == "json") {
+    // Same aggregation (and exact bytes) as the daemon's `simulate` op.
+    const scenario::ReplicatedScenarioResult result =
+        scenario::run_scenario_replicated(
+            spec, static_cast<std::size_t>(replications),
+            args.get_int("jobs", 1));
+    std::cout << serve::simulate_result_json(result).dump(2) << '\n';
+    return 0;
+  }
+  if (format == "csv") {
+    const scenario::ReplicatedScenarioResult result =
+        scenario::run_scenario_replicated(
+            spec, static_cast<std::size_t>(replications),
+            args.get_int("jobs", 1));
+    std::cout << "machine,entity,cpu_mean,cpu_stddev,mem_mean,io_mean,"
+                 "bw_mean,samples\n";
+    for (const auto& [machine, entities] : result.stats) {
+      for (const auto& [key, s] : entities) {
+        std::cout << machine << ',' << key << ','
+                  << util::format_double(s.cpu.mean()) << ','
+                  << util::format_double(s.cpu.stddev()) << ','
+                  << util::format_double(s.mem.mean()) << ','
+                  << util::format_double(s.io.mean()) << ','
+                  << util::format_double(s.bw.mean()) << ','
+                  << s.cpu.count() << '\n';
+      }
+    }
+    return 0;
+  }
+  if (format != "table") {
+    throw util::ContractViolation("unknown --format (want csv|json): " +
+                                  format);
   }
 
-  const scenario::ScenarioSpec spec =
-      scenario::ScenarioSpec::load(args.get("scenario"));
-  const int replications = args.get_int("replications", 1);
   std::cout << "running scenario: " << spec.machines << " machine(s), "
             << spec.vms.size() << " VM(s), "
             << util::fmt(spec.duration_s, 0) << " s\n\n";
@@ -248,24 +366,68 @@ int cmd_simulate(const util::CliArgs& args) {
   } else {
     const scenario::ScenarioResult result = scenario::run_scenario(spec);
     std::cout << result.summary();
-    if (args.has("csv")) {
+    if (args.has("series-out")) {
       // Export the first monitored machine's full series.
       const auto& [machine, report] = *result.reports.begin();
-      mon::report_to_csv(report).save(args.get("csv"));
+      mon::report_to_csv(report).save(args.get("series-out"));
       std::cout << "wrote machine " << machine << " series to "
-                << args.get("csv") << '\n';
-    }
-  }
-
-  if (collector.enabled()) {
-    const std::string path = collector.path();
-    const std::size_t events = collector.size();
-    if (collector.write_file()) {
-      std::cout << "wrote trace (" << events << " events) to " << path
-                << '\n';
+                << args.get("series-out") << '\n';
     }
   }
   return 0;
+}
+
+int cmd_request(const util::CliArgs& args) {
+  util::Json params = util::Json::object();
+  if (args.has("params")) {
+    try {
+      params = util::Json::parse(args.get("params"));
+    } catch (const util::JsonError& e) {
+      std::cerr << "voprofctl: --params is not valid JSON: " << e.what()
+                << '\n';
+      return 2;
+    }
+    if (!params.is_object()) {
+      std::cerr << "voprofctl: --params must be a JSON object\n";
+      return 2;
+    }
+  }
+  util::Json req = util::Json::object();
+  req.set("api", serve::kApiVersion);
+  req.set("id", args.get_or("id", "ctl"));
+  req.set("op", args.get("op"));
+  if (args.has("deadline-ms")) {
+    req.set("deadline_ms", args.get_int("deadline-ms", 0));
+  }
+  req.set("params", std::move(params));
+
+  util::Result<serve::LineClient> connected =
+      serve::LineClient::connect(args.get("socket"));
+  if (!connected.ok()) return loader_error(connected.error());
+  serve::LineClient client = std::move(connected).take();
+  util::Result<std::string> response =
+      client.roundtrip(req.dump(0), args.get_int("timeout-ms", 60000));
+  if (!response.ok()) return loader_error(response.error());
+  std::cout << response.value() << '\n';
+
+  // Exit code mirrors the response's ok flag so scripts can branch
+  // without parsing JSON.
+  try {
+    const util::Json doc = util::Json::parse(response.value());
+    if (doc.at("ok").as_bool()) return 0;
+  } catch (const util::JsonError&) {
+  }
+  return 1;
+}
+
+int cmd_serve(const util::CliArgs& args) {
+  const util::Result<serve::DaemonConfig> config =
+      serve::daemon_config_from_args(args);
+  if (!config.ok()) {
+    std::cerr << "voprofctl: " << config.error().to_string() << '\n';
+    return 2;
+  }
+  return serve::daemon_main(config.value());
 }
 
 int cmd_trace(const std::string& sub, const util::CliArgs& args) {
@@ -314,8 +476,10 @@ int cmd_version() {
 }
 
 int cmd_rubis(const util::CliArgs& args) {
-  const model::TrainedModels models =
-      model::load_models_file(args.get("models"));
+  util::Result<model::TrainedModels> loaded =
+      model::load_models_file_result(args.get("models"));
+  if (!loaded.ok()) return loader_error(loaded.error());
+  const model::TrainedModels models = std::move(loaded).take();
   const int clients = args.get_int("clients", 500);
   const double duration = args.get_double("duration", 120.0);
 
@@ -370,31 +534,70 @@ int cmd_bench_diff(const util::CliArgs& args) {
   }
 }
 
+int dispatch(const std::string& cmd, const util::CliArgs& args) {
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "export-trace") return cmd_export_trace(args);
+  if (cmd == "fit") return cmd_fit(args);
+  if (cmd == "predict") return cmd_predict(args);
+  if (cmd == "profile") return cmd_profile(args);
+  if (cmd == "rubis") return cmd_rubis(args);
+  if (cmd == "inspect") return cmd_inspect(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "bench-diff") return cmd_bench_diff(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "request") return cmd_request(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "version") return cmd_version();
     // `trace` takes a subcommand word plus a positional file, which
-    // CliArgs (exactly one positional) can't express: peel the two
-    // leading words off first, so the file path becomes the command.
-    if (argc >= 2 && std::string(argv[1]) == "trace") {
+    // the flag table (exactly zero positionals) can't express: peel
+    // the two leading words off first, so the file path becomes the
+    // command.
+    if (cmd == "trace") {
       if (argc < 3) return usage();
       return cmd_trace(argv[2], util::CliArgs::parse(argc - 2, argv + 2));
     }
-    const util::CliArgs args =
-        util::CliArgs::parse(argc, argv, {"report-improvement"});
-    const std::string& cmd = args.command();
-    if (cmd == "version") return cmd_version();
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "export-trace") return cmd_export_trace(args);
-    if (cmd == "fit") return cmd_fit(args);
-    if (cmd == "predict") return cmd_predict(args);
-    if (cmd == "profile") return cmd_profile(args);
-    if (cmd == "rubis") return cmd_rubis(args);
-    if (cmd == "inspect") return cmd_inspect(args);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "bench-diff") return cmd_bench_diff(args);
-    return usage();
+
+    const util::Result<tools::ParsedFlags> parsed =
+        tools::parse_flags_argv(cmd, argc, argv, 2);
+    if (!parsed.ok()) {
+      std::cerr << "voprofctl: " << parsed.error().to_string() << '\n';
+      return 2;
+    }
+    for (const std::string& warning : parsed.value().warnings) {
+      std::cerr << "voprofctl: " << warning << '\n';
+    }
+    const util::CliArgs& args = parsed.value().args;
+
+    // Uniform observability wiring: --trace-out (or VOPROF_TRACE)
+    // enables the collector for ANY command; the file is written after
+    // the command finishes. (`fit`/`inspect` read observation CSVs via
+    // --observations, so --trace-out is unambiguous everywhere.)
+    auto& collector = obs::TraceCollector::global();
+    if (args.has("trace-out")) {
+      collector.enable(args.get("trace-out"));
+    } else {
+      collector.init_from_env();
+    }
+
+    const int rc = dispatch(cmd, args);
+
+    if (collector.enabled()) {
+      const std::string path = collector.path();
+      const std::size_t events = collector.size();
+      if (collector.write_file()) {
+        std::cout << "wrote trace (" << events << " events) to " << path
+                  << '\n';
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "voprofctl: " << e.what() << '\n';
     return 1;
